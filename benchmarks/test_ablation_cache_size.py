@@ -1,0 +1,30 @@
+"""ABL-CACHE: gain vs simulated L2 size (§IV-C2 design proxy).
+
+The footprint-fits-the-cache constraint is KTILER's cache-performance
+proxy, so the L2 size moves everything.  Shape: tiny caches cannot hold
+a producer+consumer round (no gain); around the workload's working set
+the gain peaks; once the cache swallows the whole working set the
+default schedule already hits and tiling has nothing left to win —
+the paper's first tiling condition ("room for improvement").
+"""
+
+from conftest import run_once
+
+from repro.experiments import cache_sweep
+
+L2_SIZES = tuple(kb * 1024 for kb in (128, 256, 512, 1024, 4096))
+
+
+def test_ablation_cache_size(benchmark):
+    result = run_once(benchmark, cache_sweep, l2_sizes=L2_SIZES)
+    print("\n" + result.format_table())
+
+    gains = {row.parameter: row.gain_with_ig for row in result.rows}
+    peak = max(gains.values())
+    # Somewhere in the middle tiling clearly pays.
+    assert peak > 0.05
+    # The peak is interior: both extremes do worse than the peak.
+    assert gains[128.0] < peak
+    assert gains[4096.0] < peak
+    # A 4 MB L2 holds the whole working set: nothing to win.
+    assert gains[4096.0] == 0.0

@@ -1,0 +1,36 @@
+"""ABL-IG: gain vs inter-launch gap (§II/§V overhead discussion).
+
+Tiling multiplies launches, so the inter-launch gap is KTILER's main
+overhead.  Shape: with no gap the scheduler tiles aggressively and the
+gain is maximal; as the gap grows, Algorithm 1's cost model adopts
+fewer merges and the with-IG gain decays monotonically (modulo the
+discrete merge decisions) to zero — the paper's case for mitigating
+the IG in the driver.
+"""
+
+from conftest import run_once
+
+from repro.experiments import gap_sweep
+
+GAPS = (0.0, 0.5, 1.0, 2.0, 8.0)
+
+
+def test_ablation_launch_gap(benchmark):
+    result = run_once(benchmark, gap_sweep, gaps_us=GAPS)
+    print("\n" + result.format_table())
+
+    rows = result.rows
+    gains = [row.gain_with_ig for row in rows]
+    launches = [row.ktiler_launches for row in rows]
+
+    # Free launches: aggressive tiling, big gain.
+    assert gains[0] > 0.2
+    # The gain decays as the gap grows...
+    for earlier, later in zip(gains, gains[1:]):
+        assert later <= earlier + 0.02
+    # ...and so does the scheduler's willingness to split.
+    assert launches[0] >= launches[-1]
+    # A large gap makes tiling unprofitable; the scheduler notices and
+    # the schedule degenerates to (near) default — never a regression.
+    assert gains[-1] >= -0.01
+    assert rows[-1].adopted_merges <= rows[0].adopted_merges

@@ -1,0 +1,27 @@
+"""ABL-THLD: edge-weight threshold sweep (§IV-C design knob).
+
+Shape: low thresholds all find the profitable merges (a plateau);
+beyond the largest edge weight no candidates survive and the gain
+collapses to exactly zero.
+"""
+
+from conftest import run_once
+
+from repro.experiments import threshold_sweep
+
+THRESHOLDS = (0.0, 0.25, 0.5, 1.0, 4.0, 1000.0)
+
+
+def test_ablation_threshold(benchmark):
+    result = run_once(benchmark, threshold_sweep, thresholds=THRESHOLDS)
+    print("\n" + result.format_table())
+
+    gains = [row.gain_with_ig for row in result.rows]
+    # The permissive end finds profitable merges.
+    assert gains[0] > 0.05
+    # Gains never increase as the threshold rises.
+    for earlier, later in zip(gains, gains[1:]):
+        assert later <= earlier + 1e-9
+    # An absurd threshold prunes everything.
+    assert result.rows[-1].adopted_merges == 0
+    assert gains[-1] == 0.0

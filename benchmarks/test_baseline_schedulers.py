@@ -1,0 +1,93 @@
+"""BASELINES: KTILER vs cost-blind greedy vs exhaustive oracle.
+
+An addition beyond the paper (which compares only against the default
+mode): bound Algorithm 1 from both sides.
+
+* the **exhaustive oracle** enumerates every reachable partition on a
+  small producer-consumer chain — the heuristic must land close to its
+  cost;
+* the cost-model-free **merge-all** greedy adopts every valid merge —
+  with a non-trivial inter-launch gap it over-splits the Jacobi chain,
+  demonstrating why Algorithm 1's cost test (and hence the performance
+  tables) matters.
+"""
+
+from conftest import run_once
+
+from repro.apps import build_jacobi_pingpong, build_scale_chain
+from repro.core import KTiler, KTilerConfig
+from repro.core.schedule import Schedule
+from repro.gpusim import GpuSpec, NOMINAL
+from repro.runtime import measure_at, tally_schedule
+
+CHAIN_GAP_US = 1.0   # cheap launches: tiling pays, oracle vs heuristic
+JACOBI_GAP_US = 4.0  # expensive launches: the cost model must say no
+
+
+def _measure(schedule, graph, spec, gap_us):
+    return measure_at(tally_schedule(schedule, graph, spec), spec, NOMINAL, gap_us)
+
+
+def regenerate():
+    spec = GpuSpec(l2_bytes=512 * 1024)
+
+    # Oracle comparison on a 6-stage chain (7 candidate edges).
+    chain = build_scale_chain(length=6, size=512)
+    chain_kt = KTiler(chain.graph, spec=spec,
+                      config=KTilerConfig(launch_overhead_us=CHAIN_GAP_US))
+    chain_rows = {
+        "default": _measure(Schedule.default(chain.graph), chain.graph, spec,
+                            CHAIN_GAP_US),
+        "ktiler": _measure(chain_kt.plan(NOMINAL).schedule, chain.graph, spec,
+                           CHAIN_GAP_US),
+        "exhaustive": _measure(
+            chain_kt.plan_exhaustive(NOMINAL, max_edges=10).schedule,
+            chain.graph, spec, CHAIN_GAP_US,
+        ),
+    }
+
+    # Cost-model ablation on the Jacobi chain (too many edges for the
+    # oracle, ideal for showing merge-all's over-splitting).
+    jacobi = build_jacobi_pingpong(iters=5, size=256)
+    jacobi_kt = KTiler(jacobi.graph, spec=spec,
+                       config=KTilerConfig(launch_overhead_us=JACOBI_GAP_US))
+    jacobi_rows = {
+        "default": _measure(Schedule.default(jacobi.graph), jacobi.graph,
+                            spec, JACOBI_GAP_US),
+        "ktiler": _measure(jacobi_kt.plan(NOMINAL).schedule, jacobi.graph,
+                           spec, JACOBI_GAP_US),
+        "merge-all": _measure(
+            jacobi_kt.plan_merge_all(NOMINAL).schedule, jacobi.graph, spec,
+            JACOBI_GAP_US,
+        ),
+    }
+    return chain_rows, jacobi_rows
+
+
+def test_baseline_scheduler_comparison(benchmark):
+    chain_rows, jacobi_rows = run_once(benchmark, regenerate)
+
+    print("\nScale chain (oracle comparison, 1us gap):")
+    for name, run in chain_rows.items():
+        print(f"  {name:<11} {run.total_us:9.1f}us "
+              f"({run.num_launches} launches, hit {run.hit_rate * 100:.0f}%)")
+    print("Jacobi chain (cost-model ablation, 4us gap):")
+    for name, run in jacobi_rows.items():
+        print(f"  {name:<11} {run.total_us:9.1f}us "
+              f"({run.num_launches} launches, hit {run.hit_rate * 100:.0f}%)")
+
+    # The oracle is ground truth: nothing beats it.
+    assert chain_rows["exhaustive"].total_us <= chain_rows["ktiler"].total_us * 1.001
+    # The heuristic lands within 15% of the oracle.
+    assert chain_rows["ktiler"].total_us <= 1.15 * chain_rows["exhaustive"].total_us
+    # At a 1us gap the chain is worth tiling: both beat the default.
+    assert chain_rows["ktiler"].total_us < chain_rows["default"].total_us
+    # KTILER never regresses below the default mode, on either workload.
+    assert chain_rows["ktiler"].total_us <= chain_rows["default"].total_us * 1.001
+    assert jacobi_rows["ktiler"].total_us <= jacobi_rows["default"].total_us * 1.001
+    # The cost-blind greedy pays for its extra launches.
+    assert (
+        jacobi_rows["merge-all"].num_launches
+        >= jacobi_rows["ktiler"].num_launches
+    )
+    assert jacobi_rows["merge-all"].total_us >= jacobi_rows["ktiler"].total_us

@@ -1,0 +1,45 @@
+"""FIG1b: the motivational example's block dependency map.
+
+Regenerates the Figure 1(b) relation — which grayscale (kernel A)
+blocks each downscale (kernel B) block depends on — from a traced run
+of the 256x256 pipeline, and checks the 2x2 producer-neighbourhood
+shape the paper draws.
+"""
+
+from conftest import run_once
+
+from repro.analyzer import build_block_graph, run_instrumented
+from repro.apps import build_pipeline
+
+
+def regenerate():
+    app = build_pipeline(size=256, with_copies=False)
+    run = run_instrumented(app.graph)
+    return app, build_block_graph(run.trace)
+
+
+def test_fig1_block_dependency_map(benchmark):
+    app, block_graph = run_once(benchmark, regenerate)
+    graph = app.graph
+    a = graph.node_by_name("A.grayscale")
+    b = graph.node_by_name("B.downscale")
+
+    # The paper's launch geometry: A<<<(8x32),(32x8)>>>.
+    assert a.kernel.grid == (8, 32)
+
+    rows = []
+    for bid in b.kernel.all_block_ids():
+        producers = block_graph.producers((b.node_id, bid))
+        # Every B block depends on exactly 4 A blocks (a 2x2 tile).
+        assert len(producers) == 4
+        assert {key[0] for key in producers} == {a.node_id}
+        bx, by = b.kernel.block_coords(bid)
+        coords = sorted(a.kernel.block_coords(pb) for _, pb in producers)
+        assert coords == sorted(
+            (2 * bx + dx, 2 * by + dy) for dx in (0, 1) for dy in (0, 1)
+        )
+        rows.append((bid, coords))
+
+    print(f"\nFIG1b: {len(rows)} B blocks, each depending on 4 A blocks")
+    for bid, coords in rows[:4]:
+        print(f"  B block {bid} <- A blocks {coords}")

@@ -1,0 +1,32 @@
+"""FIG2: Jacobi profiler metrics at the default grid vs a 1/32 sub-kernel.
+
+Paper values: cache hit rate 35% -> 100%, warp issue efficiency roughly
+doubles (31% -> ~63%), memory-dependency stalls drop from 64% of all
+stalls to 21%.  The benchmark asserts those *shapes*: a large hit-rate
+gap, an issue-efficiency ratio near 2x or better, and a substantial
+drop in the memory-stall share.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig2
+
+
+def test_fig2_profile_metrics(benchmark):
+    result = run_once(benchmark, run_fig2, image_size=512)
+    print("\n" + result.format_table())
+
+    default, tiled = result.default, result.tiled
+
+    # Shape 1: the tiled sub-kernel finds everything in the L2.
+    assert tiled.cache_hit_rate == 1.0
+    # Shape 2: the default run thrashes (paper: 35%).
+    assert default.cache_hit_rate < 0.6
+    assert result.hit_rate_gap > 0.4
+    # Shape 3: warp issue efficiency roughly doubles (paper: ~2x).
+    assert result.issue_efficiency_ratio > 1.7
+    # Shape 4: memory-dependency stalls fall substantially.
+    assert default.memory_stall_fraction > 0.6
+    assert result.memory_stall_drop > 0.2
+    # Shape 5: the 1/32 sub-kernel really is 1/32 of the default grid.
+    assert tiled.num_blocks * 32 == default.num_blocks

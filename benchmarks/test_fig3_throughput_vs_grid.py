@@ -1,0 +1,50 @@
+"""FIG3: Jacobi throughput vs grid size under four DVFS operating points.
+
+Paper shapes asserted here:
+
+* each series rises with grid size (utilization), peaks, then falls as
+  cache performance degrades;
+* near the peak, series-3 (1324, 800) matches series-4 (1324, 2505)
+  because requests are served by the L2 and never reach DRAM;
+* at large grids series-3 collapses to about half of series-4;
+* the §II observation: four 250-block sub-kernels at the lowest
+  operating point (series-1) out-run one 1000-block launch at
+  series-3, despite far lower frequencies.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig3
+from repro.gpusim.freq import FIG3_CONFIGS
+
+GRIDS = [1, 2, 4, 8, 16, 32, 64, 128, 192, 256, 320, 384, 512, 768, 1024]
+
+
+def test_fig3_throughput_curves(benchmark):
+    result = run_once(
+        benchmark, run_fig3, image_size=512, grid_sizes=GRIDS
+    )
+    print("\n" + result.format_table())
+
+    series1, series2, series3, series4 = FIG3_CONFIGS
+    for config in FIG3_CONFIGS:
+        curve = result.throughput[config]
+        peak_grid, peak_value = result.peak(config)
+        # Rise: the peak clearly beats the 1-block launch.
+        assert peak_value > 3 * curve[0]
+        # Fall: the full grid clearly under-runs the peak.
+        assert curve[-1] < 0.5 * peak_value
+        # The peak sits in the interior of the sweep.
+        assert GRIDS[0] < peak_grid < GRIDS[-1]
+
+    # Series-3 and series-4 coincide at the peak (both L2-served)...
+    peak3 = result.peak(series3)[1]
+    peak4 = result.peak(series4)[1]
+    assert abs(peak3 - peak4) / peak4 < 0.05
+    # ...but series-3 falls to roughly half (or less) at the full grid.
+    assert result.at_grid(series3, 1024) < 0.6 * result.at_grid(series4, 1024)
+
+    # The series-split observation: 4x250 blocks at series-1 beats
+    # 1x1000 blocks at series-3.
+    split = result.split_comparison
+    assert split["split_low_freq"] > split["one_launch_high_freq"]

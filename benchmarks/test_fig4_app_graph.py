@@ -1,0 +1,33 @@
+"""FIG4: the HSOpticalFlow application graph.
+
+Figure 4 is the application DFG; the benchmark rebuilds it (at both the
+scaled and the paper's parameters) and asserts its census: node counts
+per kernel type follow the closed form, the JI chains dominate, and
+the paper-scale build is "over a thousand kernels" with JI making up
+~98% of the nodes (98.5% of the execution time in the paper).
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig4
+
+
+def test_fig4_scaled_census(benchmark):
+    result = run_once(benchmark, run_fig4, frame_size=256, levels=3,
+                      jacobi_iters=20)
+    print("\n" + result.format_table())
+    assert result.matches_expected()
+    assert result.level_sizes == [256, 128, 64]
+    assert result.num_data_edges > result.num_nodes  # JI fan-in
+    # The graph is executable in insertion order (validated on build).
+    result.app.graph.validate()
+
+
+def test_fig4_paper_scale_census(benchmark):
+    result = run_once(benchmark, run_fig4, frame_size=1024, levels=3,
+                      jacobi_iters=500)
+    print(f"\nFIG4 paper scale: {result.num_nodes} nodes, "
+          f"JI fraction {result.jacobi_fraction * 100:.1f}%")
+    assert result.matches_expected()
+    assert result.num_nodes > 1000  # "over a thousand kernels"
+    assert result.jacobi_fraction > 0.97

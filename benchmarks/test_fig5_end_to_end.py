@@ -1,0 +1,48 @@
+"""FIG5: end-to-end HSOpticalFlow time, default vs KTILER (+/- IG).
+
+Paper results over the four operating points: mean gain 25% with the
+inter-launch gap, 36% without it; gains are larger at the two lower
+memory frequencies; removing the IG helps more at the higher
+frequencies.  The benchmark asserts all three shapes on the scaled
+platform (256x256 frames, 512 KB L2 — same footprint:cache ratio as
+the paper's 1024x1024 / 2 MB; see EXPERIMENTS.md).
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig5
+from repro.gpusim.freq import FIG5_CONFIGS
+
+
+def test_fig5_default_vs_ktiler(benchmark):
+    result = run_once(benchmark, run_fig5, check_functional=True)
+    print("\n" + result.format_table())
+
+    rows = {row.freq: row for row in result.report.rows}
+    nominal, lower_gpu, low_mem, lowest = FIG5_CONFIGS
+
+    # Shape 1: KTILER wins at every operating point, in both views.
+    for row in rows.values():
+        assert row.gain_with_ig > 0.0
+        assert row.gain_without_ig >= row.gain_with_ig
+        assert row.ktiler_launches > row.default_launches  # tiling splits
+        assert row.ktiler_hit_rate > row.default_hit_rate
+
+    # Shape 2: the low-memory-frequency configurations gain more.
+    high_freq_gain = (rows[nominal].gain_with_ig + rows[lower_gpu].gain_with_ig) / 2
+    low_freq_gain = (rows[low_mem].gain_with_ig + rows[lowest].gain_with_ig) / 2
+    assert low_freq_gain > high_freq_gain
+
+    # Shape 3: headline averages in the paper's band (paper: 25% / 36%).
+    assert 0.10 <= result.mean_gain_with_ig <= 0.45
+    assert 0.15 <= result.mean_gain_without_ig <= 0.55
+    assert result.mean_gain_without_ig > result.mean_gain_with_ig
+
+    # Shape 4: the IG penalty (gain difference) is larger at the
+    # higher-frequency configurations, where kernels are short.
+    ig_penalty_high = rows[nominal].gain_without_ig - rows[nominal].gain_with_ig
+    ig_penalty_low = rows[lowest].gain_without_ig - rows[lowest].gain_with_ig
+    assert ig_penalty_high > ig_penalty_low
+
+    # Functional transparency: the tiled run computes the same flow.
+    assert result.functional_ok is True

@@ -1,0 +1,47 @@
+"""SEC2-KERNELS: the §II tiling-suitability study.
+
+The paper lists kernels that "respond well to tiling": reduction, scan
+(Hillis–Steele), bitonic sort on large arrays, matrix multiplication on
+arrays with special dimensions, matrix transpose, and Black–Scholes —
+and gives a convolution filter as the high-locality counter-example
+with little hit-rate headroom.  Warping fails the third condition
+(input-dependent accesses).
+
+The benchmark regenerates the study and asserts the verdicts.  Known
+deviation (recorded in EXPERIMENTS.md): transpose scores "poor fit"
+here because at 128-byte line granularity four neighbouring blocks
+share each strided source line, which already gives the default launch
+substantial intra-launch reuse.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_suitability
+from repro.experiments.suitability import HIT_GAP_CUTOFF
+
+
+def test_sec2_kernel_suitability(benchmark):
+    result = run_once(benchmark, run_suitability)
+    print("\n" + result.format_table())
+
+    # The paper's tiling-friendly list.
+    for name in ("reduce", "scan_d512", "blackscholes", "jacobi", "matmul"):
+        row = next(r for r in result.rows if r.kernel_name.startswith(name.split("_")[0]))
+        assert row.tileable, f"{name} should respond to tiling"
+
+    bitonic = next(r for r in result.rows if r.kernel_name.startswith("bitonic"))
+    assert bitonic.tileable
+
+    # Condition 1 counter-example: convolution's gap is small.
+    convolve = result.row("convolve")
+    assert not convolve.tileable
+    assert convolve.hit_rate_gap < HIT_GAP_CUTOFF
+    assert convolve.default_hit_rate > 0.5  # high locality per block
+
+    # Condition 3 counter-example: warping is input-dependent.
+    warp = result.row("warp")
+    assert warp.input_dependent and not warp.tileable
+
+    # Low-locality kernels have the big gaps (paper §II's contrast).
+    reduce_row = result.row("reduce")
+    assert reduce_row.hit_rate_gap > 3 * convolve.hit_rate_gap

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""DVFS trade-off study (Figure 3 and the §II energy observation).
+
+Sweeps the Jacobi kernel's grid size under the paper's four
+(GPU, MEM) MHz operating points and prints the throughput curves:
+rising with utilization, peaking where the working set saturates the
+L2, collapsing once it spills to DRAM.
+
+Then reproduces the paper's energy-relevant observation: splitting a
+1000-block workload into four 250-block sub-kernels lets the *lowest*
+operating point out-run a single launch at a much higher memory
+frequency — cache-aware tiling as a DVFS enabler.
+
+Run:  python examples/dvfs_tradeoff.py
+"""
+
+from repro.experiments import run_fig3
+from repro.gpusim.freq import FIG3_CONFIGS
+
+
+def main() -> None:
+    grids = [1, 2, 4, 8, 16, 32, 64, 128, 192, 256, 320, 384, 512, 768, 1024]
+    result = run_fig3(image_size=512, grid_sizes=grids)
+    print(result.format_table())
+
+    series1, _, series3, series4 = FIG3_CONFIGS
+    peak3_grid, peak3 = result.peak(series3)
+    _, peak4 = result.peak(series4)
+    tail3 = result.at_grid(series3, 1024)
+    tail4 = result.at_grid(series4, 1024)
+    print(
+        f"\nObservations (cf. paper §II):\n"
+        f"  - at the peak (grid {peak3_grid}) series-3 {series3.label} reaches "
+        f"{peak3:.1f} blocks/us vs series-4 {series4.label} {peak4:.1f}: the\n"
+        f"    L2 serves the requests, so the 3x memory-frequency gap "
+        f"disappears;\n"
+        f"  - at the full grid series-3 falls to {tail3:.1f} vs {tail4:.1f} "
+        f"({tail3 / tail4:.0%}): the hit rate is gone and DRAM bandwidth "
+        f"rules;\n"
+    )
+    split = result.split_comparison
+    if split:
+        print(
+            f"  - splitting 1000 blocks into 4x250 at series-1 "
+            f"{series1.label} gives {split['split_low_freq']:.1f} blocks/us vs "
+            f"{split['one_launch_high_freq']:.1f} for one launch at series-3 "
+            f"{series3.label}:\n    more throughput at a fraction of the "
+            f"GPU/memory frequencies (lower power)."
+        )
+
+
+if __name__ == "__main__":
+    main()

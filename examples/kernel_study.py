@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""The §II kernel study: which kernels respond to tiling, and why.
+
+Scores a zoo of classic GPU kernels — reduction, Hillis–Steele scan,
+bitonic sort, tall-skinny matmul, transpose, Black–Scholes, grayscale,
+Jacobi, convolution, warping — against the paper's three tiling
+conditions:
+
+1. a large gap between the cache hit rates at the default and the
+   minimum grid sizes (room for improvement);
+2. performance limited by memory accesses;
+3. block dependencies computable offline (input-independent accesses).
+
+Run:  python examples/kernel_study.py
+"""
+
+from repro.experiments import run_suitability
+from repro.experiments.suitability import HIT_GAP_CUTOFF, MEM_STALL_CUTOFF
+
+
+def main() -> None:
+    result = run_suitability()
+    print(result.format_table())
+    print(
+        f"\nConditions: hit-rate gap >= {HIT_GAP_CUTOFF * 100:.0f} pts "
+        f"(condition 1), memory stalls >= {MEM_STALL_CUTOFF * 100:.0f}% "
+        f"(condition 2), input-independent accesses (condition 3)."
+    )
+    print(
+        "\nReading the table:\n"
+        "  - reduce/scan/bitonic/blackscholes stream every element once:\n"
+        "    the hit rate is whatever the producer left in the L2, so\n"
+        "    tiling has maximal headroom (the paper's §II list).\n"
+        "  - matmul responds on 'special dimensions' (tall-skinny, so\n"
+        "    streamed panels dominate and fit per-subkernel).\n"
+        "  - convolve is the counter-example: each block re-reads its\n"
+        "    halo many times, the default hit rate is already high, and\n"
+        "    the gap is small.\n"
+        "  - warp fails condition 3: where it reads depends on the flow\n"
+        "    values, so its block dependencies cannot be fixed offline."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""KTILER: cache-aware kernel tiling for GPU-based applications.
+
+A faithful, simulator-backed reproduction of
+
+    Maghazeh, Chattopadhyay, Eles, Peng.
+    "Cache-Aware Kernel Tiling: An Approach for System-Level Performance
+    Optimization of GPU-Based Applications."  DATE 2019.
+
+Quick start::
+
+    from repro import build_pipeline, KTiler
+    from repro.gpusim import NOMINAL
+    from repro.runtime import compare_default_vs_ktiler
+
+    app = build_pipeline(size=512)
+    ktiler = KTiler(app.graph)
+    report = compare_default_vs_ktiler(ktiler, [NOMINAL])
+    print(report.format_table())
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-vs-measured results of every figure.
+"""
+
+from repro.apps import (
+    OpticalFlowApp,
+    PipelineApp,
+    SyntheticApp,
+    build_diamond,
+    build_hsopticalflow,
+    build_jacobi_pingpong,
+    build_pipeline,
+    build_scale_chain,
+    build_stencil_chain,
+    horn_schunck_reference,
+)
+from repro.core import KTiler, KTilerConfig, Schedule, SubKernel
+from repro.errors import (
+    ConfigurationError,
+    GraphError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    TilingError,
+)
+from repro.gpusim import (
+    FIG3_CONFIGS,
+    FIG5_CONFIGS,
+    GTX_960M,
+    NOMINAL,
+    FrequencyConfig,
+    GpuSimulator,
+    GpuSpec,
+)
+from repro.graph import Buffer, BufferAllocator, KernelGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KTiler",
+    "KTilerConfig",
+    "Schedule",
+    "SubKernel",
+    "GpuSpec",
+    "GpuSimulator",
+    "GTX_960M",
+    "FrequencyConfig",
+    "NOMINAL",
+    "FIG3_CONFIGS",
+    "FIG5_CONFIGS",
+    "Buffer",
+    "BufferAllocator",
+    "KernelGraph",
+    "build_pipeline",
+    "PipelineApp",
+    "build_hsopticalflow",
+    "OpticalFlowApp",
+    "horn_schunck_reference",
+    "SyntheticApp",
+    "build_scale_chain",
+    "build_diamond",
+    "build_jacobi_pingpong",
+    "build_stencil_chain",
+    "ReproError",
+    "ConfigurationError",
+    "GraphError",
+    "ScheduleError",
+    "TilingError",
+    "SimulationError",
+    "__version__",
+]

@@ -1,0 +1,126 @@
+"""Block memory lines and memory footprints (§IV-B2, §IV-C2).
+
+The scheduler's cache constraint uses the *memory footprint* of the
+blocks in a tiling round — the number of distinct cache lines they
+touch — as a proxy for cache performance: if the footprint fits the L2,
+the round's intermediate data can all be cache-resident (the paper
+argues conflict misses are largely avoided because discontiguities are
+fewer than the associativity).
+
+:class:`BlockMemoryLines` is the per-block line table the block
+analyzer hands to the scheduler; :class:`FootprintAccumulator` is the
+incremental union the ClusterTile heuristic uses so that repeated
+cache-constraint checks stay O(new lines) instead of O(all lines).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.errors import GraphError
+from repro.gpusim.trace import BlockKey, MemoryTrace
+from repro.graph.kernel_graph import KernelGraph
+
+
+class BlockMemoryLines:
+    """Per-block sets of touched cache lines."""
+
+    def __init__(self, line_bytes: int):
+        self.line_bytes = line_bytes
+        self._lines: Dict[BlockKey, frozenset] = {}
+
+    @classmethod
+    def from_trace(
+        cls, trace: MemoryTrace, graph: KernelGraph, line_bytes: int, line_shift: int
+    ) -> "BlockMemoryLines":
+        """Build the table from a traced run.
+
+        Touched-line sets are shared with the kernel specs' memoized
+        sets, so graphs with hundreds of nodes per spec stay cheap.
+        """
+        table = cls(line_bytes)
+        for record in trace:
+            kernel = graph.node(record.node_id).kernel
+            table._lines[record.key] = kernel.block_touched_lines(
+                record.block_id, line_shift
+            )
+        return table
+
+    def lines_of(self, key: BlockKey) -> frozenset:
+        try:
+            return self._lines[key]
+        except KeyError:
+            raise GraphError(f"no memory lines recorded for block {key}") from None
+
+    def __contains__(self, key: BlockKey) -> bool:
+        return key in self._lines
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def footprint_lines(self, keys: Iterable[BlockKey]) -> int:
+        """Distinct line count of a set of blocks."""
+        union: set = set()
+        for key in keys:
+            union |= self.lines_of(key)
+        return len(union)
+
+    def footprint_bytes(self, keys: Iterable[BlockKey]) -> int:
+        return self.footprint_lines(keys) * self.line_bytes
+
+
+class FootprintAccumulator:
+    """Incremental footprint with a byte budget (the cache size).
+
+    Supports the ClusterTile loop's pattern: repeatedly *try* to extend
+    the current round with a batch of blocks; a failed try leaves the
+    accumulated state untouched.
+    """
+
+    def __init__(self, table: BlockMemoryLines, budget_bytes: int):
+        if budget_bytes <= 0:
+            raise GraphError("footprint budget must be positive")
+        self.table = table
+        self.budget_lines = budget_bytes // table.line_bytes
+        self._lines: set = set()
+
+    @property
+    def footprint_lines(self) -> int:
+        return len(self._lines)
+
+    @property
+    def footprint_bytes(self) -> int:
+        return len(self._lines) * self.table.line_bytes
+
+    def try_add(self, keys: Iterable[BlockKey]) -> bool:
+        """Add blocks if the union still fits the budget.
+
+        Returns False — with no state change — when the batch would
+        overflow the cache budget.
+        """
+        new_lines: set = set()
+        current = self._lines
+        for key in keys:
+            for line in self.table.lines_of(key):
+                if line not in current:
+                    new_lines.add(line)
+        if len(current) + len(new_lines) > self.budget_lines:
+            return False
+        current |= new_lines
+        return True
+
+    def would_fit(self, keys: Iterable[BlockKey]) -> bool:
+        """Non-mutating version of :meth:`try_add`."""
+        new_count = 0
+        current = self._lines
+        seen: set = set()
+        for key in keys:
+            for line in self.table.lines_of(key):
+                if line not in current and line not in seen:
+                    seen.add(line)
+                    new_count += 1
+        return len(current) + new_count <= self.budget_lines
+
+    def reset(self) -> None:
+        """Start a new tiling round."""
+        self._lines.clear()

@@ -1,0 +1,59 @@
+"""Instrumented application runs (the SASSI harness substitute).
+
+The paper obtains its memory trace by (i) compiling the application
+with a SASSI-augmented compiler, which injects callbacks around memory
+instructions, and (ii) running it once on the GPU while the host logs
+each access.  Here, "running under instrumentation" means executing the
+application graph on the simulator with a :class:`TraceRecorder`
+attached; the recorder stores each executed block's line sets.
+
+As in the paper, the trace depends on the *input size* (which fixes
+grid sizes and block dependencies) but not on the input values — all
+kernels declare input-independent (or conservatively bounded) access
+patterns, see :mod:`repro.kernels.warp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.gpusim.executor import GpuSimulator, LaunchResult
+from repro.gpusim.trace import MemoryTrace, TraceRecorder
+from repro.graph.kernel_graph import KernelGraph
+
+
+@dataclass
+class InstrumentedRun:
+    """Artifacts of one traced execution of an application."""
+
+    trace: MemoryTrace
+    launches: List[LaunchResult]
+
+    @property
+    def total_blocks(self) -> int:
+        return self.trace.total_blocks
+
+
+def run_instrumented(
+    graph: KernelGraph,
+    sim: Optional[GpuSimulator] = None,
+) -> InstrumentedRun:
+    """Execute ``graph`` once, node by node, recording the memory trace.
+
+    Launch order is the graph's (always valid) topological order — the
+    application's default execution mode.  A fresh simulator is created
+    when none is given; when one is supplied its cache state is reset
+    first so the trace reflects a cold start.
+    """
+    if sim is None:
+        sim = GpuSimulator()
+    else:
+        sim.reset_cache()
+    recorder = TraceRecorder()
+    launches: List[LaunchResult] = []
+    for node_id in graph.topological_order():
+        node = graph.node(node_id)
+        recorder.begin_launch(node_id)
+        launches.append(sim.launch(node.kernel, recorder=recorder))
+    return InstrumentedRun(trace=recorder.trace, launches=launches)

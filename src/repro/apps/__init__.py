@@ -1,0 +1,28 @@
+"""Application builders: Figure 1 pipeline, Figure 4 HSOpticalFlow, synthetics."""
+
+from repro.apps.hsopticalflow import (
+    OpticalFlowApp,
+    build_hsopticalflow,
+    horn_schunck_reference,
+)
+from repro.apps.pipeline import PipelineApp, build_pipeline
+from repro.apps.synthetic import (
+    SyntheticApp,
+    build_diamond,
+    build_jacobi_pingpong,
+    build_scale_chain,
+    build_stencil_chain,
+)
+
+__all__ = [
+    "build_pipeline",
+    "PipelineApp",
+    "build_hsopticalflow",
+    "OpticalFlowApp",
+    "horn_schunck_reference",
+    "SyntheticApp",
+    "build_scale_chain",
+    "build_diamond",
+    "build_jacobi_pingpong",
+    "build_stencil_chain",
+]

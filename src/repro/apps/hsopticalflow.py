@@ -1,0 +1,328 @@
+"""HSOpticalFlow: the paper's evaluation application (Figure 4, §V).
+
+A GPU implementation of the Horn–Schunck optical-flow method between
+two frames, structured exactly like the CUDA SDK sample the paper
+uses: a coarse-to-fine pyramid where each *step* (pyramid level) warps
+frame 1 by the current flow (WP), computes derivatives (DV), runs N
+Jacobi iterations (JI, ping-ponging two (du, dv) buffer pairs), adds
+the increment to the flow (AD, one node per component), and upsamples
+the flow to the next finer level (US, one node per component).  HtD
+nodes bring the frames in, DS nodes build the pyramid, DtH nodes
+return the flow, and ``{0}`` memset nodes provide the initial zero
+vectors.
+
+The paper runs 3 steps on 1024x1024 frames with 500 JI nodes per step;
+those are the ``frame_size`` / ``levels`` / ``jacobi_iters`` defaults'
+paper values, scaled down by default for simulation cost (see
+EXPERIMENTS.md).  JI nodes dominate execution (98.5% in the paper) and
+are the tiling target.
+
+A vectorized pure-numpy reference (:func:`horn_schunck_reference`)
+implements the same arithmetic without any block decomposition; tests
+compare it against block-wise functional runs of the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.buffers import Buffer, BufferAllocator
+from repro.graph.kernel_graph import KernelGraph
+from repro.kernels.copy import DeviceToHostKernel, HostToDeviceKernel
+from repro.kernels.derivatives import DerivativesKernel
+from repro.kernels.jacobi import JacobiKernel
+from repro.kernels.pointwise import AddKernel, MemsetKernel
+from repro.kernels.resize import DownscaleKernel, UpscaleKernel
+from repro.kernels.warp import WarpKernel
+
+
+@dataclass
+class OpticalFlowApp:
+    """The built application plus handles the experiments need."""
+
+    graph: KernelGraph
+    allocator: BufferAllocator
+    frame_size: int
+    levels: int
+    jacobi_iters: int
+    alpha: float
+    max_displacement: int
+    frame0: Buffer
+    frame1: Buffer
+    flow_u: Buffer
+    flow_v: Buffer
+    #: One representative JacobiKernel spec per level (even parity),
+    #: finest level first — the Figure 2/3 study kernel.
+    jacobi_specs: List[JacobiKernel] = field(default_factory=list)
+
+    def host_inputs(
+        self, rng: Optional[np.random.Generator] = None
+    ) -> Dict[str, np.ndarray]:
+        """A synthetic frame pair: smooth pattern + small translation."""
+        if rng is None:
+            rng = np.random.default_rng(7)
+        size = self.frame_size
+        ys, xs = np.mgrid[0:size, 0:size].astype(np.float32)
+        base = (
+            np.sin(xs * 0.11) * np.cos(ys * 0.07)
+            + 0.5 * np.sin((xs + ys) * 0.031)
+            + 0.05 * rng.standard_normal((size, size)).astype(np.float32)
+        ).astype(np.float32)
+        shifted = np.roll(np.roll(base, 1, axis=0), 2, axis=1)
+        return {"f0.l0": base, "f1.l0": shifted}
+
+    @property
+    def jacobi_node_fraction(self) -> float:
+        """Fraction of nodes that are JI nodes (98.5% of time in paper)."""
+        hist = self.graph.kernel_name_histogram()
+        ji = sum(v for k, v in hist.items() if k.startswith("jacobi"))
+        return ji / len(self.graph)
+
+
+def build_hsopticalflow(
+    frame_size: int = 256,
+    levels: int = 3,
+    jacobi_iters: int = 100,
+    alpha: float = 1.0,
+    max_displacement: int = 4,
+    block=(32, 8),
+    with_copies: bool = True,
+    line_bytes: int = 128,
+) -> OpticalFlowApp:
+    """Build the Figure 4 application graph.
+
+    ``frame_size`` must be divisible by ``2**(levels-1) * block`` tile
+    sizes; the paper's configuration is
+    ``build_hsopticalflow(1024, 3, 500)``.
+    """
+    if levels < 1:
+        raise ConfigurationError("levels must be >= 1")
+    if jacobi_iters < 1:
+        raise ConfigurationError("jacobi_iters must be >= 1")
+    if frame_size % (2 ** (levels - 1)) != 0:
+        raise ConfigurationError(
+            f"frame_size {frame_size} not divisible by 2^{levels - 1}"
+        )
+
+    alloc = BufferAllocator(line_bytes)
+    graph = KernelGraph("HSOpticalFlow")
+
+    # Level sizes: index 0 = finest (full resolution).
+    sizes = [frame_size >> lvl for lvl in range(levels)]
+
+    # Frames at every level.
+    f0 = [alloc.new_image(f"f0.l{lvl}", s, s) for lvl, s in enumerate(sizes)]
+    f1 = [alloc.new_image(f"f1.l{lvl}", s, s) for lvl, s in enumerate(sizes)]
+
+    if with_copies:
+        graph.add(HostToDeviceKernel(f0[0], name="HtD"), name="HtD.f0",
+                  tileable=False, step=levels - 1)
+        graph.add(HostToDeviceKernel(f1[0], name="HtD"), name="HtD.f1",
+                  tileable=False, step=levels - 1)
+
+    # Pyramid construction (DS nodes), coarse levels from fine.
+    for lvl in range(1, levels):
+        graph.add(
+            DownscaleKernel(f0[lvl - 1], f0[lvl], block),
+            name=f"DS.f0.l{lvl}", step=levels - 1,
+        )
+        graph.add(
+            DownscaleKernel(f1[lvl - 1], f1[lvl], block),
+            name=f"DS.f1.l{lvl}", step=levels - 1,
+        )
+
+    coarsest = levels - 1
+    # Flow fields entering each level (initial zeros at the coarsest).
+    u_in = alloc.new_image(f"u.l{coarsest}", sizes[coarsest], sizes[coarsest])
+    v_in = alloc.new_image(f"v.l{coarsest}", sizes[coarsest], sizes[coarsest])
+    graph.add(MemsetKernel(u_in, 0.0, block), name=f"zero.u.l{coarsest}",
+              step=0)
+    graph.add(MemsetKernel(v_in, 0.0, block), name=f"zero.v.l{coarsest}",
+              step=0)
+
+    jacobi_specs_by_level: Dict[int, JacobiKernel] = {}
+    flow_u: Optional[Buffer] = None
+    flow_v: Optional[Buffer] = None
+
+    for step, lvl in enumerate(range(coarsest, -1, -1)):
+        size = sizes[lvl]
+        warped = alloc.new_image(f"warped.l{lvl}", size, size)
+        graph.add(
+            WarpKernel(f1[lvl], u_in, v_in, warped, max_displacement, block),
+            name=f"WP.l{lvl}", step=step,
+        )
+        ix = alloc.new_image(f"ix.l{lvl}", size, size)
+        iy = alloc.new_image(f"iy.l{lvl}", size, size)
+        it = alloc.new_image(f"it.l{lvl}", size, size)
+        graph.add(
+            DerivativesKernel(f0[lvl], warped, ix, iy, it, block),
+            name=f"DV.l{lvl}", step=step,
+        )
+        du = [alloc.new_image(f"du{p}.l{lvl}", size, size) for p in (0, 1)]
+        dv = [alloc.new_image(f"dv{p}.l{lvl}", size, size) for p in (0, 1)]
+        graph.add(MemsetKernel(du[0], 0.0, block), name=f"zero.du.l{lvl}",
+                  step=step)
+        graph.add(MemsetKernel(dv[0], 0.0, block), name=f"zero.dv.l{lvl}",
+                  step=step)
+        # Two shared JI specs per level (ping-pong parity).
+        ji_even = JacobiKernel(du[0], dv[0], ix, iy, it, du[1], dv[1],
+                               alpha, block, name=f"jacobi.l{lvl}")
+        ji_odd = JacobiKernel(du[1], dv[1], ix, iy, it, du[0], dv[0],
+                              alpha, block, name=f"jacobi.l{lvl}")
+        jacobi_specs_by_level[lvl] = ji_even
+        for it_idx in range(jacobi_iters):
+            spec = ji_even if it_idx % 2 == 0 else ji_odd
+            graph.add(spec, name=f"JI.l{lvl}.{it_idx}", step=step)
+        du_final = du[jacobi_iters % 2]
+        dv_final = dv[jacobi_iters % 2]
+
+        u_new = alloc.new_image(f"u'.l{lvl}", size, size)
+        v_new = alloc.new_image(f"v'.l{lvl}", size, size)
+        graph.add(AddKernel(u_in, du_final, u_new, block, name="add"),
+                  name=f"AD.u.l{lvl}", step=step)
+        graph.add(AddKernel(v_in, dv_final, v_new, block, name="add"),
+                  name=f"AD.v.l{lvl}", step=step)
+
+        if lvl > 0:
+            next_size = sizes[lvl - 1]
+            u_up = alloc.new_image(f"u.l{lvl - 1}", next_size, next_size)
+            v_up = alloc.new_image(f"v.l{lvl - 1}", next_size, next_size)
+            graph.add(UpscaleKernel(u_new, u_up, 2.0, block),
+                      name=f"US.u.l{lvl - 1}", step=step)
+            graph.add(UpscaleKernel(v_new, v_up, 2.0, block),
+                      name=f"US.v.l{lvl - 1}", step=step)
+            u_in, v_in = u_up, v_up
+        else:
+            flow_u, flow_v = u_new, v_new
+
+    if with_copies:
+        graph.add(DeviceToHostKernel(flow_u, name="DtH"), name="DtH.u",
+                  tileable=False, step=levels - 1)
+        graph.add(DeviceToHostKernel(flow_v, name="DtH"), name="DtH.v",
+                  tileable=False, step=levels - 1)
+
+    graph.validate()
+    return OpticalFlowApp(
+        graph=graph,
+        allocator=alloc,
+        frame_size=frame_size,
+        levels=levels,
+        jacobi_iters=jacobi_iters,
+        alpha=alpha,
+        max_displacement=max_displacement,
+        frame0=f0[0],
+        frame1=f1[0],
+        flow_u=flow_u,
+        flow_v=flow_v,
+        jacobi_specs=[jacobi_specs_by_level[lvl] for lvl in range(levels)],
+    )
+
+
+# ----------------------------------------------------------------------
+# Vectorized reference implementation (no block decomposition)
+# ----------------------------------------------------------------------
+def _downscale2(img: np.ndarray) -> np.ndarray:
+    h, w = img.shape
+    return img.reshape(h // 2, 2, w // 2, 2).mean(axis=(1, 3), dtype=np.float32)
+
+
+def _upscale2(img: np.ndarray, value_scale: float) -> np.ndarray:
+    return (value_scale * np.repeat(np.repeat(img, 2, axis=0), 2, axis=1)).astype(
+        np.float32
+    )
+
+
+def _warp_bilinear(
+    src: np.ndarray, u: np.ndarray, v: np.ndarray, max_displacement: float
+) -> np.ndarray:
+    h, w = src.shape
+    ys, xs = np.mgrid[0:h, 0:w]
+    uc = np.clip(u, -max_displacement, max_displacement)
+    vc = np.clip(v, -max_displacement, max_displacement)
+    sample_x = np.clip(xs + uc, 0.0, w - 1.0)
+    sample_y = np.clip(ys + vc, 0.0, h - 1.0)
+    x0 = np.floor(sample_x).astype(np.int64)
+    y0 = np.floor(sample_y).astype(np.int64)
+    x1 = np.minimum(x0 + 1, w - 1)
+    y1 = np.minimum(y0 + 1, h - 1)
+    fx = (sample_x - x0).astype(np.float32)
+    fy = (sample_y - y0).astype(np.float32)
+    top = src[y0, x0] * (1 - fx) + src[y0, x1] * fx
+    bot = src[y1, x0] * (1 - fx) + src[y1, x1] * fx
+    return (top * (1 - fy) + bot * fy).astype(np.float32)
+
+
+def _clamped(img: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    h, w = img.shape
+    ys = np.clip(np.arange(h) + dy, 0, h - 1)
+    xs = np.clip(np.arange(w) + dx, 0, w - 1)
+    return img[np.ix_(ys, xs)]
+
+
+def _derivatives(
+    f0: np.ndarray, f1: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    avg = ((f0 + f1) * np.float32(0.5)).astype(np.float32)
+    ix = (_clamped(avg, 0, 1) - _clamped(avg, 0, -1)) * np.float32(0.5)
+    iy = (_clamped(avg, 1, 0) - _clamped(avg, -1, 0)) * np.float32(0.5)
+    it = f1 - f0
+    return ix, iy, it
+
+
+def _jacobi_sweep(
+    du: np.ndarray,
+    dv: np.ndarray,
+    ix: np.ndarray,
+    iy: np.ndarray,
+    it: np.ndarray,
+    alpha: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    def navg(f: np.ndarray) -> np.ndarray:
+        return (
+            (_clamped(f, 0, -1) + _clamped(f, 0, 1) + _clamped(f, -1, 0)
+             + _clamped(f, 1, 0)) * np.float32(0.25)
+        ).astype(np.float32)
+
+    du_avg = navg(du)
+    dv_avg = navg(dv)
+    denom = np.float32(alpha**2) + ix * ix + iy * iy
+    frac = (ix * du_avg + iy * dv_avg + it) / denom
+    return du_avg - ix * frac, dv_avg - iy * frac
+
+
+def horn_schunck_reference(
+    frame0: np.ndarray,
+    frame1: np.ndarray,
+    levels: int = 3,
+    jacobi_iters: int = 100,
+    alpha: float = 1.0,
+    max_displacement: float = 4.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pyramidal Horn–Schunck flow, vectorized, same arithmetic as the app."""
+    frame0 = frame0.astype(np.float32)
+    frame1 = frame1.astype(np.float32)
+    pyr0 = [frame0]
+    pyr1 = [frame1]
+    for _ in range(1, levels):
+        pyr0.append(_downscale2(pyr0[-1]))
+        pyr1.append(_downscale2(pyr1[-1]))
+    coarsest = levels - 1
+    u = np.zeros_like(pyr0[coarsest])
+    v = np.zeros_like(pyr0[coarsest])
+    for lvl in range(coarsest, -1, -1):
+        warped = _warp_bilinear(pyr1[lvl], u, v, max_displacement)
+        ix, iy, it = _derivatives(pyr0[lvl], warped)
+        du = np.zeros_like(u)
+        dv = np.zeros_like(v)
+        for _ in range(jacobi_iters):
+            du, dv = _jacobi_sweep(du, dv, ix, iy, it, alpha)
+        u = u + du
+        v = v + dv
+        if lvl > 0:
+            u = _upscale2(u, 2.0)
+            v = _upscale2(v, 2.0)
+    return u, v

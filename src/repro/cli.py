@@ -1,0 +1,187 @@
+"""Command-line interface: ``ktiler <experiment> [options]``.
+
+Regenerates every evaluation artifact of the paper from the terminal:
+
+.. code-block:: console
+
+    $ ktiler fig2                 # profiler metrics, default vs tiled
+    $ ktiler fig3                 # Jacobi throughput vs grid size
+    $ ktiler fig4                 # HSOpticalFlow graph census
+    $ ktiler fig5                 # end-to-end default vs KTILER
+    $ ktiler suitability          # section II kernel study
+    $ ktiler ablation threshold   # design-knob sweeps
+    $ ktiler demo                 # two-kernel quickstart
+
+Every experiment prints the same rows/series the paper reports; see
+EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import (
+    cache_sweep,
+    gap_sweep,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_suitability,
+    threshold_sweep,
+)
+from repro.experiments.presets import PAPER_SPEC, SCALED_SPEC
+from repro.gpusim.arch import GpuSpec, spec_with_l2
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--l2-kb",
+        type=int,
+        default=None,
+        help="override the simulated L2 size in KiB",
+    )
+
+
+def _resolve_spec(base: GpuSpec, args: argparse.Namespace) -> GpuSpec:
+    if getattr(args, "l2_kb", None):
+        return spec_with_l2(base, args.l2_kb * 1024)
+    return base
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    result = run_fig2(
+        image_size=args.size, spec=_resolve_spec(PAPER_SPEC, args)
+    )
+    print(result.format_table())
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    result = run_fig3(
+        image_size=args.size,
+        spec=_resolve_spec(PAPER_SPEC, args),
+        with_split_comparison=not args.no_split,
+    )
+    print(result.format_table())
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    result = run_fig4(
+        frame_size=args.frame_size, levels=args.levels, jacobi_iters=args.iters
+    )
+    print(result.format_table())
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    result = run_fig5(
+        frame_size=args.frame_size,
+        levels=args.levels,
+        jacobi_iters=args.iters,
+        spec=_resolve_spec(SCALED_SPEC, args),
+        check_functional=args.check_functional,
+    )
+    print(result.format_table())
+    return 0
+
+
+def _cmd_suitability(args: argparse.Namespace) -> int:
+    result = run_suitability(spec=_resolve_spec(PAPER_SPEC, args))
+    print(result.format_table())
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    sweeps = {
+        "threshold": threshold_sweep,
+        "cache": cache_sweep,
+        "gap": gap_sweep,
+    }
+    print(sweeps[args.knob]().format_table())
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.apps import build_pipeline
+    from repro.core import KTiler, KTilerConfig
+    from repro.gpusim import NOMINAL
+    from repro.runtime import compare_default_vs_ktiler, schedules_equivalent
+
+    app = build_pipeline(size=args.size)
+    print(app.graph.summary())
+    ktiler = KTiler(app.graph, config=KTilerConfig(launch_overhead_us=2.0))
+    plan = ktiler.plan(NOMINAL)
+    print(plan.schedule.summary())
+    report = compare_default_vs_ktiler(ktiler, [NOMINAL], launch_gap_us=2.0)
+    print(report.format_table())
+    ok, mismatched = schedules_equivalent(
+        app.graph, plan.schedule, app.host_inputs()
+    )
+    print(f"functionally equivalent: {ok}{mismatched or ''}")
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ktiler",
+        description="KTILER (DATE 2019) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig2", help="profiler metrics, default vs 1/32 tiled")
+    p.add_argument("--size", type=int, default=512, help="Jacobi image side")
+    _add_common(p)
+    p.set_defaults(func=_cmd_fig2)
+
+    p = sub.add_parser("fig3", help="Jacobi throughput vs grid size")
+    p.add_argument("--size", type=int, default=512, help="Jacobi image side")
+    p.add_argument("--no-split", action="store_true",
+                   help="skip the 4x250-block split comparison")
+    _add_common(p)
+    p.set_defaults(func=_cmd_fig3)
+
+    p = sub.add_parser("fig4", help="HSOpticalFlow graph census")
+    p.add_argument("--frame-size", type=int, default=256)
+    p.add_argument("--levels", type=int, default=3)
+    p.add_argument("--iters", type=int, default=20, help="JI nodes per step")
+    p.set_defaults(func=_cmd_fig4)
+
+    p = sub.add_parser("fig5", help="end-to-end default vs KTILER")
+    p.add_argument("--frame-size", type=int, default=256)
+    p.add_argument("--levels", type=int, default=3)
+    p.add_argument("--iters", type=int, default=20, help="JI nodes per step")
+    p.add_argument("--check-functional", action="store_true",
+                   help="also verify tiled output == default output")
+    _add_common(p)
+    p.set_defaults(func=_cmd_fig5)
+
+    p = sub.add_parser("suitability", help="section II kernel study")
+    _add_common(p)
+    p.set_defaults(func=_cmd_suitability)
+
+    p = sub.add_parser("ablation", help="design-knob sweeps")
+    p.add_argument("knob", choices=("threshold", "cache", "gap"))
+    p.set_defaults(func=_cmd_ablation)
+
+    p = sub.add_parser("demo", help="two-kernel quickstart (Figure 1)")
+    p.add_argument("--size", type=int, default=1024, help="image side")
+    p.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    start = time.time()
+    code = args.func(args)
+    print(f"[{time.time() - start:.1f}s]", file=sys.stderr)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

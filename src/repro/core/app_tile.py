@@ -1,0 +1,195 @@
+"""The Application Tiling heuristic — Algorithm 1 of the paper.
+
+Starting from singleton clusters (one per kernel, costed at the
+kernel's default execution time), repeatedly try to merge the two
+clusters joined by the highest-weight remaining candidate edge:
+
+* if the merged partition is invalid (the cluster quotient would
+  cycle), skip to the next candidate edge *without* discarding this
+  one — a later merge may make it valid;
+* if it is valid, tile the merged cluster with Algorithm 2 and adopt
+  the merge only when the tiled cost beats the two clusters' combined
+  cost; either way the edge is consumed and scanning restarts from the
+  highest-weight candidate.
+
+The loop ends when the candidate list is exhausted or no remaining
+candidate yields a valid partition.  The final schedule concatenates
+each cluster's tiling sequence in cluster topological order (≺C
+combined with ≺C_sch, §IV-C1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.analyzer.footprint import BlockMemoryLines
+from repro.core.cluster import Partition
+from repro.core.cluster_tile import ClusterTiling, cluster_tile
+from repro.core.perftable import PerfTableSet
+from repro.core.schedule import Schedule
+from repro.core.subkernel import SubKernel
+from repro.core.weights import EdgeWeights, select_candidates
+from repro.errors import TilingError
+from repro.graph.block_graph import BlockDependencyGraph
+from repro.graph.kernel_graph import KernelGraph
+
+
+@dataclass
+class TilingStats:
+    """Telemetry of one Algorithm 1 run."""
+
+    candidate_edges: int = 0
+    merge_attempts: int = 0
+    invalid_partitions: int = 0
+    adopted_merges: int = 0
+    rejected_merges: int = 0
+    tilings_evaluated: int = 0
+    tiling_cache_hits: int = 0
+
+
+@dataclass
+class TilingResult:
+    """Schedule plus the partition and per-cluster tilings behind it."""
+
+    schedule: Schedule
+    partition: Partition
+    tilings: Dict[int, ClusterTiling]
+    estimated_cost_us: float
+    stats: TilingStats
+
+
+def _singleton_tiling(
+    graph: KernelGraph, node_id: int, default_time_us: float, launch_overhead_us: float
+) -> ClusterTiling:
+    node = graph.node(node_id)
+    sub = SubKernel(
+        node_id=node_id,
+        blocks=tuple(node.kernel.all_block_ids()),
+        label=node.name,
+    )
+    return ClusterTiling(
+        nodes=frozenset((node_id,)),
+        subkernels=(sub,),
+        cost_us=default_time_us + launch_overhead_us,
+        rounds=1,
+    )
+
+
+def application_tile(
+    graph: KernelGraph,
+    block_graph: BlockDependencyGraph,
+    mem_lines: BlockMemoryLines,
+    perf_tables: PerfTableSet,
+    weights: EdgeWeights,
+    default_times_us: Dict[int, float],
+    cache_bytes: int,
+    threshold_us: float = 0.0,
+    launch_overhead_us: float = 0.0,
+    include_anti: bool = True,
+    max_cluster_nodes: Optional[int] = None,
+) -> TilingResult:
+    """Algorithm 1.
+
+    ``default_times_us`` maps node id to the kernel's execution time in
+    the default mode (the paper's ``kerExeTimes``).  The optional
+    ``max_cluster_nodes`` caps cluster growth — an extension beyond the
+    paper that bounds scheduling time on very deep graphs (``None``
+    reproduces the paper exactly).
+    """
+    for node in graph:
+        if node.node_id not in default_times_us:
+            raise TilingError(f"missing default time for node {node.node_id}")
+
+    stats = TilingStats()
+    partition = Partition.singletons(graph)
+    tilings: Dict[int, ClusterTiling] = {
+        node.node_id: _singleton_tiling(
+            graph, node.node_id, default_times_us[node.node_id], launch_overhead_us
+        )
+        for node in graph
+    }
+
+    candidates = select_candidates(graph, weights, threshold_us)
+    stats.candidate_edges = len(candidates)
+    tiling_memo: Dict[FrozenSet[int], Optional[ClusterTiling]] = {}
+
+    index = 0
+    while index < len(candidates):
+        edge = candidates[index]
+        cluster_a = partition.cluster_of(edge.src)
+        cluster_b = partition.cluster_of(edge.dst)
+        if cluster_a == cluster_b:
+            # Already merged through another edge; consume the edge.
+            candidates.pop(index)
+            index = 0
+            continue
+        stats.merge_attempts += 1
+        oversized = (
+            max_cluster_nodes is not None
+            and len(partition.members(cluster_a)) + len(partition.members(cluster_b))
+            > max_cluster_nodes
+        )
+        if oversized or not partition.can_merge(cluster_a, cluster_b):
+            # Invalid partition: try the next edge, keep this one.
+            stats.invalid_partitions += 1
+            index += 1
+            continue
+        merged_nodes = partition.members(cluster_a) | partition.members(cluster_b)
+        tiling = tiling_memo.get(merged_nodes, _MISSING)
+        if tiling is _MISSING:
+            stats.tilings_evaluated += 1
+            tiling = cluster_tile(
+                merged_nodes,
+                graph,
+                block_graph,
+                mem_lines,
+                perf_tables,
+                cache_bytes,
+                launch_overhead_us=launch_overhead_us,
+                include_anti=include_anti,
+            )
+            tiling_memo[merged_nodes] = tiling
+        else:
+            stats.tiling_cache_hits += 1
+        combined = tilings[cluster_a].cost_us + tilings[cluster_b].cost_us
+        if tiling is not None and tiling.cost_us < combined:
+            partition = partition.merged(cluster_a, cluster_b)
+            new_id = min(cluster_a, cluster_b)
+            dead_id = max(cluster_a, cluster_b)
+            del tilings[dead_id]
+            tilings[new_id] = tiling
+            stats.adopted_merges += 1
+        else:
+            stats.rejected_merges += 1
+        candidates.pop(index)
+        index = 0
+
+    # Assemble the schedule: cluster topological order, then each
+    # cluster's tiling sequence.
+    subkernels: List[SubKernel] = []
+    total_cost = 0.0
+    for cluster_id in partition.topo_order():
+        tiling = tilings[cluster_id]
+        subkernels.extend(tiling.subkernels)
+        total_cost += tiling.cost_us
+    schedule = Schedule(subkernels=subkernels, name="ktiler")
+    return TilingResult(
+        schedule=schedule,
+        partition=partition,
+        tilings=tilings,
+        estimated_cost_us=total_cost,
+        stats=stats,
+    )
+
+
+class _Missing:
+    """Sentinel distinguishing 'not memoized' from 'memoized as None'."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -1,0 +1,206 @@
+"""Baseline schedulers for evaluating the KTILER heuristic.
+
+The paper compares KTILER only against the default execution mode.
+Two additional baselines bound the heuristic from below and above:
+
+* :func:`merge_all_tile` — a cost-model-free greedy: contract *every*
+  candidate edge whose merge keeps the partition valid and whose merged
+  cluster is tileable at all, regardless of whether tiling pays.  This
+  isolates the value of Algorithm 1's cost test: with a non-zero
+  inter-launch gap, merge-all over-splits and can regress below the
+  default mode.
+* :func:`exhaustive_tile` — an oracle for small graphs: enumerate every
+  partition reachable by contracting subsets of the candidate edges,
+  cost each with Algorithm 2, and keep the cheapest.  The search is
+  exponential in the candidate-edge count (bounded by ``max_edges``),
+  so it only serves as ground truth for heuristic-quality tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.analyzer.footprint import BlockMemoryLines
+from repro.core.app_tile import TilingResult, TilingStats, _singleton_tiling
+from repro.core.cluster import Partition
+from repro.core.cluster_tile import ClusterTiling, cluster_tile
+from repro.core.schedule import Schedule
+from repro.core.subkernel import SubKernel
+from repro.core.weights import EdgeWeights, select_candidates
+from repro.errors import TilingError
+from repro.graph.block_graph import BlockDependencyGraph
+from repro.graph.kernel_graph import Edge, KernelGraph
+
+
+def _assemble(
+    graph: KernelGraph,
+    partition: Partition,
+    tilings: Dict[int, ClusterTiling],
+    stats: TilingStats,
+    name: str,
+) -> TilingResult:
+    subkernels: List[SubKernel] = []
+    total_cost = 0.0
+    for cluster_id in partition.topo_order():
+        tiling = tilings[cluster_id]
+        subkernels.extend(tiling.subkernels)
+        total_cost += tiling.cost_us
+    return TilingResult(
+        schedule=Schedule(subkernels=subkernels, name=name),
+        partition=partition,
+        tilings=tilings,
+        estimated_cost_us=total_cost,
+        stats=stats,
+    )
+
+
+def merge_all_tile(
+    graph: KernelGraph,
+    block_graph: BlockDependencyGraph,
+    mem_lines: BlockMemoryLines,
+    perf_tables,
+    weights: EdgeWeights,
+    default_times_us: Dict[int, float],
+    cache_bytes: int,
+    threshold_us: float = 0.0,
+    launch_overhead_us: float = 0.0,
+    include_anti: bool = True,
+) -> TilingResult:
+    """The cost-model-free greedy baseline.
+
+    Same candidate selection and validity rules as Algorithm 1, but a
+    valid merge is adopted whenever the merged cluster is tileable —
+    the estimated cost is never consulted.
+    """
+    stats = TilingStats()
+    partition = Partition.singletons(graph)
+    tilings: Dict[int, ClusterTiling] = {
+        node.node_id: _singleton_tiling(
+            graph, node.node_id, default_times_us[node.node_id], launch_overhead_us
+        )
+        for node in graph
+    }
+    candidates = select_candidates(graph, weights, threshold_us)
+    stats.candidate_edges = len(candidates)
+    index = 0
+    while index < len(candidates):
+        edge = candidates[index]
+        cluster_a = partition.cluster_of(edge.src)
+        cluster_b = partition.cluster_of(edge.dst)
+        if cluster_a == cluster_b:
+            candidates.pop(index)
+            index = 0
+            continue
+        stats.merge_attempts += 1
+        if not partition.can_merge(cluster_a, cluster_b):
+            stats.invalid_partitions += 1
+            index += 1
+            continue
+        merged_nodes = partition.members(cluster_a) | partition.members(cluster_b)
+        stats.tilings_evaluated += 1
+        tiling = cluster_tile(
+            merged_nodes, graph, block_graph, mem_lines, perf_tables,
+            cache_bytes, launch_overhead_us=launch_overhead_us,
+            include_anti=include_anti,
+        )
+        if tiling is not None:
+            partition = partition.merged(cluster_a, cluster_b)
+            new_id = min(cluster_a, cluster_b)
+            del tilings[max(cluster_a, cluster_b)]
+            tilings[new_id] = tiling
+            stats.adopted_merges += 1
+        else:
+            stats.rejected_merges += 1
+        candidates.pop(index)
+        index = 0
+    return _assemble(graph, partition, tilings, stats, name="merge-all")
+
+
+def exhaustive_tile(
+    graph: KernelGraph,
+    block_graph: BlockDependencyGraph,
+    mem_lines: BlockMemoryLines,
+    perf_tables,
+    weights: EdgeWeights,
+    default_times_us: Dict[int, float],
+    cache_bytes: int,
+    threshold_us: float = 0.0,
+    launch_overhead_us: float = 0.0,
+    include_anti: bool = True,
+    max_edges: int = 14,
+) -> TilingResult:
+    """Oracle: the cheapest partition over all candidate-edge subsets.
+
+    Enumerates every subset of the candidate edges, contracts the
+    subset's edges (skipping merges that would invalidate the
+    partition), and costs the result; ties break toward fewer merges.
+    Raises :class:`TilingError` when the candidate-edge count exceeds
+    ``max_edges`` (2^edges partitions would be evaluated).
+    """
+    candidates = select_candidates(graph, weights, threshold_us)
+    if len(candidates) > max_edges:
+        raise TilingError(
+            f"exhaustive search over {len(candidates)} candidate edges "
+            f"exceeds max_edges={max_edges}"
+        )
+    singletons = {
+        node.node_id: _singleton_tiling(
+            graph, node.node_id, default_times_us[node.node_id], launch_overhead_us
+        )
+        for node in graph
+    }
+    tiling_memo: Dict[FrozenSet[int], Optional[ClusterTiling]] = {}
+
+    def tile_cluster(nodes: FrozenSet[int]) -> Optional[ClusterTiling]:
+        if len(nodes) == 1:
+            return singletons[next(iter(nodes))]
+        cached = tiling_memo.get(nodes, "missing")
+        if cached != "missing":
+            return cached
+        tiling = cluster_tile(
+            nodes, graph, block_graph, mem_lines, perf_tables, cache_bytes,
+            launch_overhead_us=launch_overhead_us, include_anti=include_anti,
+        )
+        tiling_memo[nodes] = tiling
+        return tiling
+
+    best: Optional[Tuple[float, int, Partition, Dict[int, ClusterTiling]]] = None
+    stats = TilingStats(candidate_edges=len(candidates))
+    for r in range(len(candidates) + 1):
+        for subset in combinations(candidates, r):
+            partition = Partition.singletons(graph)
+            merged_ok = True
+            for edge in subset:
+                ca = partition.cluster_of(edge.src)
+                cb = partition.cluster_of(edge.dst)
+                if ca == cb:
+                    continue
+                if not partition.can_merge(ca, cb):
+                    merged_ok = False
+                    break
+                partition = partition.merged(ca, cb)
+            if not merged_ok:
+                continue
+            stats.merge_attempts += 1
+            tilings: Dict[int, ClusterTiling] = {}
+            cost = 0.0
+            feasible = True
+            for cid in partition.cluster_ids():
+                tiling = tile_cluster(partition.members(cid))
+                if tiling is None:
+                    feasible = False
+                    break
+                tilings[cid] = tiling
+                cost += tiling.cost_us
+            if not feasible:
+                continue
+            key = (cost, len(subset))
+            if best is None or key < (best[0], best[1]):
+                best = (cost, len(subset), partition, tilings)
+    if best is None:
+        raise TilingError("no feasible partition found")
+    _, merges, partition, tilings = best
+    stats.adopted_merges = merges
+    return _assemble(graph, partition, tilings, stats, name="exhaustive")

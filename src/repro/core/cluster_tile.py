@@ -1,0 +1,243 @@
+"""The ClusterTile heuristic — Algorithm 2 of the paper.
+
+Given a cluster (a set of application-graph nodes executed
+contiguously), produce its *tiling sequence*: a totally ordered list of
+sub-kernels that (i) partitions every member kernel's blocks,
+(ii) respects all block dependencies, and (iii) keeps the memory
+footprint of each tiling round within the L2 cache.
+
+Each iteration runs two rounds, exactly as in the paper:
+
+* **bottom-up** — pick the next unassigned block of each bottom (sink)
+  kernel and pull in all its direct and indirect in-cluster
+  dependencies (the minimal work needed to make leaf progress);
+* **top-down** — add any further blocks whose dependencies are already
+  covered, maximizing data reuse and GPU utilization "for free".
+
+When the accumulated footprint would exceed the cache, the blocks
+gathered so far are frozen into one sub-kernel per member node (in
+topological node order), their estimated execution times (from the
+performance tables, looked up by grid size and in-cluster input
+combination) are added to the cluster cost, and a new round begins.
+A round that cannot make progress means the cluster is untileable:
+cost = infinity (``None`` is returned).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analyzer.footprint import BlockMemoryLines, FootprintAccumulator
+from repro.core.perftable import PerfTableSet
+from repro.core.subkernel import SubKernel
+from repro.errors import TilingError
+from repro.gpusim.trace import BlockKey
+from repro.graph.block_graph import BlockDependencyGraph
+from repro.graph.kernel_graph import KernelGraph
+
+
+@dataclass(frozen=True)
+class ClusterTiling:
+    """The tiling sequence of one cluster and its estimated cost."""
+
+    nodes: FrozenSet[int]
+    subkernels: Tuple[SubKernel, ...]
+    cost_us: float
+    rounds: int
+
+    @property
+    def num_launches(self) -> int:
+        return len(self.subkernels)
+
+
+def in_cluster_input_combo(
+    graph: KernelGraph, node_id: int, cluster_nodes: Set[int]
+) -> FrozenSet[str]:
+    """Input buffers of ``node_id`` produced inside the cluster.
+
+    These are the inputs "provided by tiling" — the performance-table
+    combination key for the node's sub-kernels (§IV-C).
+    """
+    return frozenset(
+        e.buffer.name
+        for e in graph.edges_in(node_id, data_only=True)
+        if e.src in cluster_nodes
+    )
+
+
+def cluster_sinks(graph: KernelGraph, cluster_nodes: Set[int]) -> List[int]:
+    """Bottom kernels: members with no in-cluster data consumer."""
+    return sorted(
+        v
+        for v in cluster_nodes
+        if not any(e.dst in cluster_nodes for e in graph.edges_out(v, data_only=True))
+    )
+
+
+def cluster_tile(
+    cluster_nodes: Iterable[int],
+    graph: KernelGraph,
+    block_graph: BlockDependencyGraph,
+    mem_lines: BlockMemoryLines,
+    perf_tables: PerfTableSet,
+    cache_bytes: int,
+    launch_overhead_us: float = 0.0,
+    include_anti: bool = True,
+) -> Optional[ClusterTiling]:
+    """Algorithm 2.  Returns None when the cluster cannot be tiled."""
+    node_set: Set[int] = set(cluster_nodes)
+    if not node_set:
+        raise TilingError("cannot tile an empty cluster")
+    nodes = sorted(node_set)  # insertion order == topological order
+    totals: Dict[int, int] = {v: graph.node(v).num_blocks for v in nodes}
+    total_blocks = sum(totals.values())
+    combos = {v: in_cluster_input_combo(graph, v, node_set) for v in nodes}
+    sinks = cluster_sinks(graph, node_set)
+
+    assigned: Set[BlockKey] = set()
+    current: Set[BlockKey] = set()  # toBeAssigned, committed to this round
+    current_per_node: Dict[int, List[int]] = {v: [] for v in nodes}
+    cursors: Dict[int, int] = {v: 0 for v in nodes}
+    acc = FootprintAccumulator(mem_lines, cache_bytes)
+
+    subkernels: List[SubKernel] = []
+    cost_us = 0.0
+    rounds = 0
+
+    def next_free_block(v: int, staged: Set[BlockKey]) -> Optional[int]:
+        cursor = cursors[v]
+        total = totals[v]
+        while cursor < total and (
+            (v, cursor) in assigned or (v, cursor) in current or (v, cursor) in staged
+        ):
+            cursor += 1
+        cursors[v] = cursor
+        return cursor if cursor < total else None
+
+    def collect_dependencies(seeds: Sequence[BlockKey], staged: Set[BlockKey]) -> List[BlockKey]:
+        """FindAllDeps: in-cluster transitive deps not yet covered."""
+        found: List[BlockKey] = []
+        stack = list(seeds)
+        while stack:
+            key = stack.pop()
+            preds = (
+                block_graph.all_predecessors(key)
+                if include_anti
+                else block_graph.producers(key)
+            )
+            for pred in preds:
+                if (
+                    pred in staged
+                    or pred in assigned
+                    or pred in current
+                    or pred[0] not in node_set
+                ):
+                    continue
+                staged.add(pred)
+                found.append(pred)
+                stack.append(pred)
+        return found
+
+    def covered(key: BlockKey, staged: Set[BlockKey]) -> bool:
+        return key in assigned or key in current or key in staged
+
+    def find_ready(seeds: Sequence[BlockKey], staged: Set[BlockKey]) -> List[BlockKey]:
+        """FindMoreBlks: blocks whose in-cluster deps are all covered."""
+        found: List[BlockKey] = []
+        queue = list(seeds)
+        while queue:
+            key = queue.pop()
+            for consumer in block_graph.consumers(key):
+                if consumer[0] not in node_set or covered(consumer, staged):
+                    continue
+                preds = (
+                    block_graph.all_predecessors(consumer)
+                    if include_anti
+                    else block_graph.producers(consumer)
+                )
+                if all(
+                    p[0] not in node_set or covered(p, staged) for p in preds
+                ):
+                    staged.add(consumer)
+                    found.append(consumer)
+                    queue.append(consumer)
+        return found
+
+    def flush_round() -> bool:
+        """Freeze `current` into sub-kernels; True if anything was frozen."""
+        nonlocal cost_us, rounds
+        if not current:
+            return False
+        for v in nodes:
+            blocks = current_per_node[v]
+            if not blocks:
+                continue
+            sub = SubKernel(
+                node_id=v,
+                blocks=tuple(sorted(blocks)),
+                label=f"{graph.node(v).name}/r{rounds}",
+            )
+            subkernels.append(sub)
+            cost_us += (
+                perf_tables.time(graph.node(v).kernel, combos[v], sub.num_blocks)
+                + launch_overhead_us
+            )
+            blocks.clear()
+        assigned.update(current)
+        current.clear()
+        acc.reset()
+        rounds += 1
+        return True
+
+    while len(assigned) < total_blocks:
+        staged: Set[BlockKey] = set()
+        batch: List[BlockKey] = []
+        # --- bottom-up round -----------------------------------------
+        for v in sinks:
+            bid = next_free_block(v, staged)
+            if bid is not None:
+                key = (v, bid)
+                staged.add(key)
+                batch.append(key)
+        if not batch:
+            # Sinks exhausted; pick up stragglers from inner nodes so the
+            # sub-kernels still partition every member kernel's blocks.
+            for v in nodes:
+                bid = next_free_block(v, staged)
+                if bid is not None:
+                    key = (v, bid)
+                    staged.add(key)
+                    batch.append(key)
+                    break
+        if not batch:
+            # Everything is gathered; freeze the final round.
+            flush_round()
+            break
+        batch.extend(collect_dependencies(batch, staged))
+        # --- top-down round ------------------------------------------
+        batch.extend(find_ready(batch, staged))
+        # --- cache constraint (line 13) ------------------------------
+        if acc.try_add(batch):
+            current.update(batch)
+            for v, bid in batch:
+                current_per_node[v].append(bid)
+        else:
+            if not flush_round():
+                # Not a single new sub-kernel could be formed: untileable.
+                return None
+            # The failed batch is dropped; its blocks are still
+            # unassigned and will be re-gathered next iteration.
+            for v in node_set:
+                cursors[v] = 0
+
+    if len(assigned) != total_blocks:
+        raise TilingError(
+            f"cluster tiling lost blocks: {len(assigned)}/{total_blocks}"
+        )
+    return ClusterTiling(
+        nodes=frozenset(node_set),
+        subkernels=tuple(subkernels),
+        cost_us=cost_us,
+        rounds=rounds,
+    )

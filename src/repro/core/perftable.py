@@ -1,0 +1,127 @@
+"""Performance tables (§IV-C).
+
+KTILER estimates a sub-kernel's execution time from user-provided (here:
+auto-profiled, see :mod:`repro.core.profiler`) tables of execution time
+versus grid size.  Each kernel has one table per *in-cache input
+combination* — the set of its inputs that tiling will have placed in
+the cache.  Missing grid sizes are linearly interpolated, exactly as
+the paper prescribes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, TilingError
+
+#: An in-cache input combination: the names of the input buffers that
+#: are expected to be cache-resident when the sub-kernel launches.
+InputCombo = FrozenSet[str]
+
+EMPTY_COMBO: InputCombo = frozenset()
+
+
+class PerformanceTable:
+    """Execution time (us) as a function of grid size (blocks)."""
+
+    def __init__(self, points: Iterable[Tuple[int, float]]):
+        cleaned = sorted({(int(g), float(t)) for g, t in points})
+        if not cleaned:
+            raise ConfigurationError("a performance table needs >= 1 point")
+        grids = [g for g, _ in cleaned]
+        if len(set(grids)) != len(grids):
+            raise ConfigurationError("duplicate grid sizes with different times")
+        for g, t in cleaned:
+            if g <= 0 or t < 0:
+                raise ConfigurationError("grid sizes must be positive, times >= 0")
+        self._grids: List[int] = grids
+        self._times: List[float] = [t for _, t in cleaned]
+
+    @property
+    def points(self) -> List[Tuple[int, float]]:
+        return list(zip(self._grids, self._times))
+
+    def query(self, grid_size: int) -> float:
+        """Interpolated execution time for a grid of ``grid_size`` blocks.
+
+        Below the smallest measured grid the time scales linearly with
+        the block count (through the origin); above the largest it is
+        extrapolated from the last segment (clamped non-negative).
+        """
+        if grid_size <= 0:
+            raise ConfigurationError("grid_size must be positive")
+        grids, times = self._grids, self._times
+        if len(grids) == 1:
+            return times[0] * grid_size / grids[0]
+        idx = bisect.bisect_left(grids, grid_size)
+        if idx < len(grids) and grids[idx] == grid_size:
+            return times[idx]
+        if idx == 0:
+            return times[0] * grid_size / grids[0]
+        if idx == len(grids):
+            g0, g1 = grids[-2], grids[-1]
+            t0, t1 = times[-2], times[-1]
+        else:
+            g0, g1 = grids[idx - 1], grids[idx]
+            t0, t1 = times[idx - 1], times[idx]
+        slope = (t1 - t0) / (g1 - g0)
+        return max(0.0, t0 + slope * (grid_size - g0))
+
+
+class PerfTableSet:
+    """Tables for every (kernel spec, in-cache input combination).
+
+    Keyed by the :class:`~repro.kernels.base.KernelSpec` *instance* —
+    nodes sharing a spec (the 500 JI nodes of one pyramid level share
+    two specs) share tables, which is what makes profiling the
+    thousand-kernel application tractable.
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[object, Dict[InputCombo, PerformanceTable]] = {}
+
+    def add(self, kernel, combo: InputCombo, table: PerformanceTable) -> None:
+        self._tables.setdefault(kernel, {})[frozenset(combo)] = table
+
+    def has_kernel(self, kernel) -> bool:
+        return kernel in self._tables
+
+    def combos(self, kernel) -> List[InputCombo]:
+        return list(self._tables.get(kernel, {}))
+
+    def lookup(self, kernel, combo: InputCombo) -> PerformanceTable:
+        """The table for the given combination, with subset fallback.
+
+        The profiler only measures combinations worth distinguishing
+        (the paper reduces table count via the weight threshold), so an
+        exact match may be missing: fall back to the largest measured
+        subset of ``combo``, and finally to the no-cached-inputs table.
+        """
+        per_kernel = self._tables.get(kernel)
+        if not per_kernel:
+            raise TilingError(
+                f"no performance tables for kernel '{getattr(kernel, 'name', kernel)}'"
+            )
+        combo = frozenset(combo)
+        exact = per_kernel.get(combo)
+        if exact is not None:
+            return exact
+        best: Optional[InputCombo] = None
+        for candidate in per_kernel:
+            if candidate <= combo and (best is None or len(candidate) > len(best)):
+                best = candidate
+        if best is None:
+            raise TilingError(
+                f"kernel '{getattr(kernel, 'name', kernel)}': no table for "
+                f"combination {sorted(combo)} and no empty-combination fallback"
+            )
+        return per_kernel[best]
+
+    def time(self, kernel, combo: InputCombo, grid_size: int) -> float:
+        """Estimated execution time of a sub-kernel (us)."""
+        return self.lookup(kernel, combo).query(grid_size)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._tables.values())

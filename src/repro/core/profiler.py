@@ -1,0 +1,249 @@
+"""Auto-profiler: generates KTILER's "user-provided information" (§IV-A/C).
+
+The paper assumes the user supplies, per kernel and platform:
+
+* *performance tables* — execution time vs. grid size, one table per
+  in-cache input combination, and
+* *edge weights* — for each application edge, the maximum time the
+  consumer can save if that edge's data is cache-resident, and
+* the *default execution time* of every kernel.
+
+On a simulator we can generate all three programmatically: launch each
+distinct kernel spec at a ladder of grid sizes, once with a cold L2 and
+once per input combination with those inputs pre-touched into the L2.
+Because the cache replay does not depend on the operating frequency,
+the profiler stores frequency-independent :class:`LaunchTally` objects
+and re-times them under any :class:`FrequencyConfig` on demand — one
+profiling pass serves all of Figure 5's DVFS configurations.
+
+Profiled input combinations: the empty set, each single input, and the
+full input set; richer combinations fall back to their largest profiled
+subset (see :meth:`repro.core.perftable.PerfTableSet.lookup`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.perftable import EMPTY_COMBO, InputCombo, PerformanceTable, PerfTableSet
+from repro.errors import ConfigurationError
+from repro.gpusim.arch import GpuSpec
+from repro.gpusim.dram import DramModel
+from repro.gpusim.executor import GpuSimulator, LaunchTally, time_launch
+from repro.gpusim.freq import FrequencyConfig
+from repro.graph.kernel_graph import KernelGraph
+from repro.kernels.base import KernelSpec
+
+#: Default grid-size ladder, as fractions of the full grid (the paper's
+#: tables contain "execution times for several grid sizes").
+DEFAULT_GRID_FRACTIONS = (1 / 32, 1 / 16, 1 / 8, 1 / 4, 1 / 2, 1.0)
+
+
+def grid_ladder(num_blocks: int, fractions: Sequence[float] = DEFAULT_GRID_FRACTIONS) -> List[int]:
+    """Distinct grid sizes to measure for a kernel of ``num_blocks``."""
+    sizes = sorted({max(1, round(num_blocks * f)) for f in fractions})
+    if num_blocks not in sizes:
+        sizes.append(num_blocks)
+    return sizes
+
+
+def _read_lines_from(kernel: KernelSpec, blocks: Iterable[int], combo: InputCombo,
+                     line_shift: int) -> Set[int]:
+    """Lines the given blocks read from the combo's buffers."""
+    lines: Set[int] = set()
+    for bid in blocks:
+        bx, by = kernel.block_coords(bid)
+        for rng in kernel.block_accesses(bx, by):
+            if rng.kind.reads and getattr(rng.buffer, "name", None) in combo:
+                lines.update(rng.lines(line_shift))
+    return lines
+
+
+@dataclass
+class ProfiledKernel:
+    """Frequency-independent profile of one kernel spec."""
+
+    kernel: KernelSpec
+    tallies: Dict[Tuple[InputCombo, int], LaunchTally] = field(default_factory=dict)
+
+    def combos(self) -> List[InputCombo]:
+        return sorted({c for c, _ in self.tallies}, key=sorted)
+
+    def grid_sizes(self, combo: InputCombo) -> List[int]:
+        return sorted(g for c, g in self.tallies if c == combo)
+
+    def table_at(self, combo: InputCombo, spec: GpuSpec, dram: DramModel,
+                 freq: FrequencyConfig) -> PerformanceTable:
+        points = [
+            (grid, time_launch(tally, spec, dram, freq).time_us)
+            for (c, grid), tally in self.tallies.items()
+            if c == combo
+        ]
+        return PerformanceTable(points)
+
+
+class KernelProfiler:
+    """Profiles kernel specs on a private simulator instance."""
+
+    def __init__(
+        self,
+        spec: Optional[GpuSpec] = None,
+        grid_fractions: Sequence[float] = DEFAULT_GRID_FRACTIONS,
+    ):
+        self.sim = GpuSimulator(spec)
+        self.grid_fractions = tuple(grid_fractions)
+        self._profiles: Dict[KernelSpec, ProfiledKernel] = {}
+        self._weight_grids: Dict[Tuple[KernelSpec, str], int] = {}
+
+    @property
+    def spec(self) -> GpuSpec:
+        return self.sim.spec
+
+    def _tally(self, kernel: KernelSpec, combo: InputCombo, grid: int) -> LaunchTally:
+        blocks = range(grid)
+        self.sim.reset_cache()
+        if combo:
+            self.sim.l2.touch_many(
+                _read_lines_from(kernel, blocks, combo, self.spec.line_shift)
+            )
+        return self.sim.tally_launch(kernel, blocks)
+
+    def profile(self, kernel: KernelSpec) -> ProfiledKernel:
+        """Measure (and memoize) one kernel spec across the grid ladder.
+
+        Combinations: cold, each single input, all inputs.  Further
+        combinations can be added on demand via :meth:`profile_combo`
+        (used by :class:`LazyPerfTables`).
+        """
+        cached = self._profiles.get(kernel)
+        if cached is not None:
+            return cached
+        profile = ProfiledKernel(kernel)
+        self._profiles[kernel] = profile
+        input_names = [b.name for b in dict.fromkeys(kernel.inputs)]
+        combos: List[InputCombo] = [EMPTY_COMBO]
+        combos += [frozenset((n,)) for n in input_names]
+        if len(input_names) > 1:
+            combos.append(frozenset(input_names))
+        for combo in combos:
+            self.profile_combo(kernel, combo)
+        return profile
+
+    def profile_combo(self, kernel: KernelSpec, combo: InputCombo) -> ProfiledKernel:
+        """Ensure the grid ladder is measured for one input combination."""
+        profile = self._profiles.get(kernel)
+        if profile is None:
+            profile = self.profile(kernel)
+        combo = frozenset(combo)
+        for grid in grid_ladder(kernel.num_blocks, self.grid_fractions):
+            if (combo, grid) not in profile.tallies:
+                profile.tallies[(combo, grid)] = self._tally(kernel, combo, grid)
+        return profile
+
+    def profile_graph(self, graph: KernelGraph) -> Dict[KernelSpec, ProfiledKernel]:
+        """Profile every distinct kernel spec used by ``graph``."""
+        for node in graph:
+            self.profile(node.kernel)
+        return dict(self._profiles)
+
+    # ------------------------------------------------------------------
+    # Frequency-specific artifacts
+    # ------------------------------------------------------------------
+    def tables_at(self, graph: KernelGraph, freq: FrequencyConfig) -> PerfTableSet:
+        """Performance tables for all kernels of ``graph`` at ``freq``."""
+        self.profile_graph(graph)
+        tables = PerfTableSet()
+        dram = self.sim.dram
+        for kernel, profile in self._profiles.items():
+            for combo in profile.combos():
+                tables.add(
+                    kernel, combo, profile.table_at(combo, self.spec, dram, freq)
+                )
+        return tables
+
+    def _weight_grid(self, kernel: KernelSpec, buffer_name: str) -> int:
+        """Largest ladder grid whose warmed input fits half the cache.
+
+        The edge weight is the *maximum* achievable saving, so it must
+        be measured where the warmed fragment actually survives in the
+        L2 — at the full grid a larger-than-cache input self-evicts and
+        every weight would read as zero.  Half the cache leaves room
+        for the kernel's other traffic, mirroring how tiling rounds
+        share the cache between producer and consumer data.
+        """
+        key = (kernel, buffer_name)
+        cached = self._weight_grids.get(key)
+        if cached is not None:
+            return cached
+        budget = self.spec.l2_num_lines // 2
+        chosen = 1
+        for grid in grid_ladder(kernel.num_blocks, self.grid_fractions):
+            lines = _read_lines_from(
+                kernel, range(grid), frozenset((buffer_name,)), self.spec.line_shift
+            )
+            if len(lines) <= budget:
+                chosen = grid
+            else:
+                break
+        self._weight_grids[key] = chosen
+        return chosen
+
+    def saved_time(
+        self, kernel: KernelSpec, buffer_name: str, freq: FrequencyConfig
+    ) -> float:
+        """Max time saved when ``buffer_name`` is cache-resident (us).
+
+        This is the paper's edge weight.  Measured at the largest
+        profiled grid size where the warmed input fragment fits the
+        cache (cold minus warm execution time), then scaled linearly to
+        the kernel's full grid — "the maximum amount of time that can
+        be saved if the corresponding input data reside in the cache".
+        """
+        profile = self.profile(kernel)
+        grid = self._weight_grid(kernel, buffer_name)
+        dram = self.sim.dram
+        cold = profile.tallies.get((EMPTY_COMBO, grid))
+        warm = profile.tallies.get((frozenset((buffer_name,)), grid))
+        if cold is None or warm is None:
+            raise ConfigurationError(
+                f"kernel '{kernel.name}' has no profile for input "
+                f"'{buffer_name}' at grid {grid}"
+            )
+        cold_us = time_launch(cold, self.spec, dram, freq).time_us
+        warm_us = time_launch(warm, self.spec, dram, freq).time_us
+        scale = kernel.num_blocks / grid
+        return max(0.0, (cold_us - warm_us) * scale)
+
+
+class LazyPerfTables:
+    """Performance tables measured on demand (duck-types PerfTableSet.time).
+
+    The scheduler queries execution times for (kernel, in-cluster input
+    combination, grid size) triples; the paper bounds the number of
+    pre-built tables via the weight threshold and interpolates grid
+    sizes.  Here the combination tables are measured lazily the first
+    time the scheduler asks, then memoized — exact combination data
+    instead of subset fallbacks, while still only paying for
+    combinations that actually arise during cluster tiling.
+    """
+
+    def __init__(self, profiler: "KernelProfiler", freq: FrequencyConfig):
+        self.profiler = profiler
+        self.freq = freq
+        self._tables: Dict[Tuple[KernelSpec, InputCombo], PerformanceTable] = {}
+
+    def lookup(self, kernel: KernelSpec, combo: InputCombo) -> PerformanceTable:
+        combo = frozenset(combo)
+        key = (kernel, combo)
+        table = self._tables.get(key)
+        if table is None:
+            profile = self.profiler.profile_combo(kernel, combo)
+            table = profile.table_at(
+                combo, self.profiler.spec, self.profiler.sim.dram, self.freq
+            )
+            self._tables[key] = table
+        return table
+
+    def time(self, kernel: KernelSpec, combo: InputCombo, grid_size: int) -> float:
+        return self.lookup(kernel, combo).query(grid_size)

@@ -1,0 +1,103 @@
+"""Schedules: total orders over sub-kernels (§III).
+
+The paper defines a schedule as a (total, in practice) order over all
+sub-kernels of the application graph, subject to two constraints:
+
+* the sub-kernels of each kernel partition its blocks, and
+* the order respects every block-level dependency.
+
+:meth:`Schedule.validate` checks both against a
+:class:`~repro.graph.block_graph.BlockDependencyGraph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.errors import ScheduleError
+from repro.core.subkernel import SubKernel, check_partition
+from repro.graph.block_graph import BlockDependencyGraph
+from repro.graph.kernel_graph import KernelGraph
+
+
+@dataclass
+class Schedule:
+    """An ordered sequence of sub-kernel launches."""
+
+    subkernels: List[SubKernel] = field(default_factory=list)
+    name: str = "schedule"
+
+    @classmethod
+    def default(cls, graph: KernelGraph) -> "Schedule":
+        """The application's normal mode: one launch per kernel, topo order."""
+        subs = [
+            SubKernel(
+                node_id=node.node_id,
+                blocks=tuple(node.kernel.all_block_ids()),
+                label=node.name,
+            )
+            for node in graph
+        ]
+        return cls(subkernels=subs, name="default")
+
+    def __len__(self) -> int:
+        return len(self.subkernels)
+
+    def __iter__(self) -> Iterator[SubKernel]:
+        return iter(self.subkernels)
+
+    @property
+    def num_launches(self) -> int:
+        return len(self.subkernels)
+
+    def launches_per_node(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for sub in self.subkernels:
+            counts[sub.node_id] = counts.get(sub.node_id, 0) + 1
+        return counts
+
+    def split_nodes(self) -> List[int]:
+        """Nodes that were split into more than one sub-kernel."""
+        return [n for n, c in self.launches_per_node().items() if c > 1]
+
+    # ------------------------------------------------------------------
+    def validate(
+        self,
+        graph: KernelGraph,
+        block_graph: Optional[BlockDependencyGraph] = None,
+        include_anti: bool = True,
+    ) -> None:
+        """Check partitioning and dependency constraints.
+
+        With ``block_graph`` given, every block's (direct) producers —
+        and, when ``include_anti``, its WAR/WAW predecessors — must have
+        been launched in an earlier sub-kernel.  Raises
+        :class:`ScheduleError` on the first violation.
+        """
+        node_blocks = {node.node_id: node.num_blocks for node in graph}
+        check_partition(self.subkernels, node_blocks)
+        if block_graph is None:
+            return
+        done: Set = set()
+        for position, sub in enumerate(self.subkernels):
+            for key in sub.keys():
+                preds = (
+                    block_graph.all_predecessors(key)
+                    if include_anti
+                    else block_graph.producers(key)
+                )
+                for pred in preds:
+                    if pred not in done:
+                        raise ScheduleError(
+                            f"launch #{position} ({sub!r}): block {key} runs "
+                            f"before its dependency {pred}"
+                        )
+            done.update(sub.keys())
+
+    def summary(self, graph: Optional[KernelGraph] = None) -> str:
+        split = self.split_nodes()
+        return (
+            f"Schedule '{self.name}': {self.num_launches} launches over "
+            f"{len(self.launches_per_node())} nodes ({len(split)} nodes split)"
+        )

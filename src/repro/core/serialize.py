@@ -1,0 +1,115 @@
+"""Schedule serialization.
+
+The paper notes that "for a given input size, it is sufficient to
+generate the schedule only once" — KTILER spends minutes scheduling
+(twenty on the authors' laptop) and the result is then reused for every
+run at that input size.  That workflow needs schedules to be saved and
+reloaded; this module provides a stable JSON representation with enough
+metadata to detect that a schedule is being applied to the wrong graph.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.core.schedule import Schedule
+from repro.core.subkernel import SubKernel
+from repro.errors import ScheduleError
+from repro.graph.kernel_graph import KernelGraph
+
+#: Format version written into every file.
+FORMAT_VERSION = 1
+
+
+def _graph_fingerprint(graph: KernelGraph) -> Dict:
+    """Cheap structural identity of a graph: names, grids, edge count."""
+    return {
+        "name": graph.name,
+        "nodes": [
+            {"name": node.name, "blocks": node.num_blocks} for node in graph
+        ],
+        "data_edges": len(graph.data_edges()),
+    }
+
+
+def schedule_to_dict(schedule: Schedule, graph: Optional[KernelGraph] = None) -> Dict:
+    """A JSON-serializable representation of a schedule."""
+    payload: Dict = {
+        "format_version": FORMAT_VERSION,
+        "name": schedule.name,
+        "subkernels": [
+            {
+                "node": sub.node_id,
+                "label": sub.label,
+                "blocks": _encode_blocks(sub.blocks),
+            }
+            for sub in schedule
+        ],
+    }
+    if graph is not None:
+        payload["graph"] = _graph_fingerprint(graph)
+    return payload
+
+
+def schedule_from_dict(payload: Dict, graph: Optional[KernelGraph] = None) -> Schedule:
+    """Rebuild a schedule; verifies the graph fingerprint when possible."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ScheduleError(f"unsupported schedule format version {version!r}")
+    if graph is not None and "graph" in payload:
+        expected = _graph_fingerprint(graph)
+        if payload["graph"] != expected:
+            raise ScheduleError(
+                "schedule was generated for a different application graph "
+                f"({payload['graph'].get('name')!r} with "
+                f"{len(payload['graph'].get('nodes', []))} nodes)"
+            )
+    subkernels = [
+        SubKernel(
+            node_id=entry["node"],
+            blocks=tuple(_decode_blocks(entry["blocks"])),
+            label=entry.get("label", ""),
+        )
+        for entry in payload["subkernels"]
+    ]
+    schedule = Schedule(subkernels=subkernels, name=payload.get("name", "loaded"))
+    if graph is not None:
+        schedule.validate(graph)
+    return schedule
+
+
+def _encode_blocks(blocks) -> List:
+    """Run-length encode sorted block ids as [start, count] pairs.
+
+    Sub-kernels are mostly contiguous id ranges (rows of tiles), so
+    this keeps paper-scale schedules (tens of thousands of sub-kernels)
+    compact.  Non-contiguous ids degrade gracefully to unit runs.
+    """
+    runs: List[List[int]] = []
+    for bid in blocks:
+        if runs and bid == runs[-1][0] + runs[-1][1]:
+            runs[-1][1] += 1
+        else:
+            runs.append([bid, 1])
+    return runs
+
+
+def _decode_blocks(runs) -> List[int]:
+    out: List[int] = []
+    for start, count in runs:
+        out.extend(range(start, start + count))
+    return out
+
+
+def save_schedule(schedule: Schedule, path, graph: Optional[KernelGraph] = None) -> None:
+    """Write a schedule to ``path`` as JSON."""
+    with open(path, "w") as fh:
+        json.dump(schedule_to_dict(schedule, graph), fh, indent=1)
+
+
+def load_schedule(path, graph: Optional[KernelGraph] = None) -> Schedule:
+    """Read a schedule from ``path``; validates against ``graph`` if given."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    return schedule_from_dict(payload, graph)

@@ -1,0 +1,76 @@
+"""Sub-kernels: a kernel restricted to a subset of its blocks (§III).
+
+Tiling splits kernel v into sub-kernels whose block sets partition
+``Bv``.  A :class:`SubKernel` is one such piece; it knows its node, its
+block ids, and can produce the global block keys the dependency graph
+uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ScheduleError
+from repro.gpusim.trace import BlockKey
+
+
+@dataclass(frozen=True)
+class SubKernel:
+    """The i-th sub-kernel of a node: an ordered set of block ids."""
+
+    node_id: int
+    blocks: Tuple[int, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ScheduleError(f"empty sub-kernel for node {self.node_id}")
+        if len(set(self.blocks)) != len(self.blocks):
+            raise ScheduleError(
+                f"sub-kernel of node {self.node_id} repeats blocks"
+            )
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def keys(self) -> List[BlockKey]:
+        return [(self.node_id, bid) for bid in self.blocks]
+
+    def __repr__(self) -> str:
+        return (
+            f"SubKernel(node={self.node_id}, blocks={self.num_blocks}"
+            + (f", {self.label}" if self.label else "")
+            + ")"
+        )
+
+
+def check_partition(
+    subkernels: Iterable[SubKernel], node_blocks: Dict[int, int]
+) -> None:
+    """Verify sub-kernels partition each node's block set (§III).
+
+    ``node_blocks`` maps node id to its total block count.  Raises
+    :class:`ScheduleError` on overlap, gaps, or unknown nodes.
+    """
+    seen: Dict[int, set] = {}
+    for sub in subkernels:
+        if sub.node_id not in node_blocks:
+            raise ScheduleError(f"sub-kernel for unknown node {sub.node_id}")
+        blocks = seen.setdefault(sub.node_id, set())
+        overlap = blocks.intersection(sub.blocks)
+        if overlap:
+            raise ScheduleError(
+                f"node {sub.node_id}: blocks {sorted(overlap)[:4]}... appear "
+                "in more than one sub-kernel"
+            )
+        blocks.update(sub.blocks)
+    for node_id, total in node_blocks.items():
+        got = seen.get(node_id, set())
+        if len(got) != total:
+            raise ScheduleError(
+                f"node {node_id}: sub-kernels cover {len(got)} of {total} blocks"
+            )
+        if got and (min(got) < 0 or max(got) >= total):
+            raise ScheduleError(f"node {node_id}: block ids out of range")

@@ -1,0 +1,89 @@
+"""Edge weights and candidate-edge selection (§IV-C).
+
+Each *data* edge of the application graph carries a weight: the
+maximum time the consumer can save if that edge's data resides in the
+cache.  Non-tileable consumers (paper §II's three conditions — here:
+nodes flagged ``tileable=False`` or kernels with input-dependent
+access patterns) get zero-weight input edges, which keeps them out of
+the merge candidates.  ``select_candidates`` is the paper's
+``Select(weights, thld)`` followed by ``SortDesc``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.profiler import KernelProfiler
+from repro.errors import ConfigurationError
+from repro.gpusim.freq import FrequencyConfig
+from repro.graph.kernel_graph import Edge, KernelGraph
+
+#: An edge is identified by (src node, dst node, buffer name).
+EdgeId = Tuple[int, int, str]
+
+
+def edge_id(edge: Edge) -> EdgeId:
+    return (edge.src, edge.dst, edge.buffer.name)
+
+
+@dataclass
+class EdgeWeights:
+    """Weights over the data edges of one application graph."""
+
+    graph: KernelGraph
+    weights: Dict[EdgeId, float]
+
+    def weight(self, edge: Edge) -> float:
+        return self.weights.get(edge_id(edge), 0.0)
+
+    def nonzero_count(self) -> int:
+        return sum(1 for w in self.weights.values() if w > 0.0)
+
+
+def node_is_tileable(node) -> bool:
+    """Paper §II: tileable unless flagged or input-dependent."""
+    return node.tileable and not getattr(node.kernel, "input_dependent", False)
+
+
+def compute_edge_weights(
+    graph: KernelGraph,
+    profiler: KernelProfiler,
+    freq: FrequencyConfig,
+) -> EdgeWeights:
+    """Profile-derived weights for every data edge of ``graph``.
+
+    The saved time depends only on (consumer kernel spec, buffer), so
+    graphs with hundreds of nodes per spec need only a handful of
+    profiling runs.
+    """
+    memo: Dict[Tuple[object, str], float] = {}
+    weights: Dict[EdgeId, float] = {}
+    for edge in graph.data_edges():
+        consumer = graph.node(edge.dst)
+        if not node_is_tileable(consumer):
+            weights[edge_id(edge)] = 0.0
+            continue
+        key = (consumer.kernel, edge.buffer.name)
+        saved = memo.get(key)
+        if saved is None:
+            saved = profiler.saved_time(consumer.kernel, edge.buffer.name, freq)
+            memo[key] = saved
+        weights[edge_id(edge)] = saved
+    return EdgeWeights(graph=graph, weights=weights)
+
+
+def select_candidates(
+    graph: KernelGraph,
+    weights: EdgeWeights,
+    threshold: float,
+) -> List[Edge]:
+    """Data edges with weight > threshold, sorted by descending weight.
+
+    Ties break on (src, dst) so the heuristic is deterministic.
+    """
+    if threshold < 0:
+        raise ConfigurationError("threshold must be non-negative")
+    candidates = [e for e in graph.data_edges() if weights.weight(e) > threshold]
+    candidates.sort(key=lambda e: (-weights.weight(e), e.src, e.dst))
+    return candidates

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the KTILER reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with invalid parameters."""
+
+
+class GraphError(ReproError):
+    """An application or block graph is malformed (cycles, unknown nodes...)."""
+
+
+class ScheduleError(ReproError):
+    """A schedule violates block partitioning or dependency constraints."""
+
+
+class TilingError(ReproError):
+    """The tiling heuristics could not produce a valid tiling."""
+
+
+class SimulationError(ReproError):
+    """The GPU simulator was driven into an inconsistent state."""

@@ -1,0 +1,60 @@
+"""Experiment harnesses regenerating every figure of the paper.
+
+One module per evaluation artifact (see DESIGN.md §4 for the index):
+
+* :mod:`repro.experiments.fig2` — profiler metrics, default vs tiled
+* :mod:`repro.experiments.fig3` — Jacobi throughput vs grid size
+* :mod:`repro.experiments.fig4` — the HSOpticalFlow graph census
+* :mod:`repro.experiments.fig5` — end-to-end default vs KTILER
+* :mod:`repro.experiments.suitability` — the §II kernel study
+* :mod:`repro.experiments.ablations` — threshold / cache / gap sweeps
+"""
+
+from repro.experiments.ablations import (
+    AblationResult,
+    AblationRow,
+    cache_sweep,
+    gap_sweep,
+    threshold_sweep,
+)
+from repro.experiments.fig2 import Fig2Result, run_fig2
+from repro.experiments.fig3 import Fig3Result, default_grid_sizes, run_fig3
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.presets import (
+    PAPER_SPEC,
+    SCALED_FRAME_SIZE,
+    SCALED_JACOBI_ITERS,
+    SCALED_LEVELS,
+    SCALED_SPEC,
+)
+from repro.experiments.suitability import (
+    SuitabilityResult,
+    SuitabilityRow,
+    run_suitability,
+)
+
+__all__ = [
+    "run_fig2",
+    "Fig2Result",
+    "run_fig3",
+    "Fig3Result",
+    "default_grid_sizes",
+    "run_fig4",
+    "Fig4Result",
+    "run_fig5",
+    "Fig5Result",
+    "run_suitability",
+    "SuitabilityResult",
+    "SuitabilityRow",
+    "threshold_sweep",
+    "cache_sweep",
+    "gap_sweep",
+    "AblationResult",
+    "AblationRow",
+    "PAPER_SPEC",
+    "SCALED_SPEC",
+    "SCALED_FRAME_SIZE",
+    "SCALED_LEVELS",
+    "SCALED_JACOBI_ITERS",
+]

@@ -1,0 +1,84 @@
+"""Figure 4: the HSOpticalFlow application graph (DFG census).
+
+Figure 4 is a diagram, so "reproducing" it means building the same
+graph and checking its structure: node counts per kernel type, the
+three pyramid steps with their frame sizes, the JI chains dominating
+the graph, and the dependency wiring (every JI consumes the previous
+JI's output plus the level's derivative images).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.apps.hsopticalflow import OpticalFlowApp, build_hsopticalflow
+
+
+@dataclass
+class Fig4Result:
+    app: OpticalFlowApp
+    histogram: Dict[str, int]
+    num_nodes: int
+    num_data_edges: int
+    num_anti_edges: int
+    level_sizes: List[int]
+    jacobi_fraction: float
+
+    def expected_histogram(self) -> Dict[str, int]:
+        """Closed-form node census for L levels and N Jacobi iterations."""
+        levels = self.app.levels
+        n = self.app.jacobi_iters
+        return {
+            "HtD": 2,
+            "DtH": 2,
+            "downscale": 2 * (levels - 1),
+            "warp": levels,
+            "derivatives": levels,
+            "jacobi": levels * n,
+            "add": 2 * levels,
+            "upscale": 2 * (levels - 1),
+            "memset": 2 + 2 * levels,
+        }
+
+    def matches_expected(self) -> bool:
+        got = dict(self.histogram)
+        jacobi = sum(v for k, v in list(got.items()) if k.startswith("jacobi"))
+        got = {k: v for k, v in got.items() if not k.startswith("jacobi")}
+        got["jacobi"] = jacobi
+        return got == self.expected_histogram()
+
+    def format_table(self) -> str:
+        lines = [
+            "Figure 4: HSOpticalFlow application graph",
+            f"  frames {self.app.frame_size}x{self.app.frame_size}, "
+            f"{self.app.levels} steps, {self.app.jacobi_iters} JI per step",
+            f"  {self.num_nodes} nodes, {self.num_data_edges} data edges, "
+            f"{self.num_anti_edges} anti edges",
+            f"  level frame sizes: {self.level_sizes}",
+            f"  JI nodes: {self.jacobi_fraction * 100:.1f}% of the graph",
+        ]
+        for name, count in sorted(self.histogram.items()):
+            lines.append(f"    {name:<14} x{count}")
+        lines.append(f"  census matches closed form: {self.matches_expected()}")
+        return "\n".join(lines)
+
+
+def run_fig4(
+    frame_size: int = 256, levels: int = 3, jacobi_iters: int = 20
+) -> Fig4Result:
+    """Build and census the Figure 4 graph (paper: 1024, 3, 500)."""
+    app = build_hsopticalflow(
+        frame_size=frame_size, levels=levels, jacobi_iters=jacobi_iters
+    )
+    graph = app.graph
+    data = len(graph.data_edges())
+    return Fig4Result(
+        app=app,
+        histogram=graph.kernel_name_histogram(),
+        num_nodes=len(graph),
+        num_data_edges=data,
+        num_anti_edges=len(graph.edges) - data,
+        level_sizes=[frame_size >> lvl for lvl in range(levels)],
+        jacobi_fraction=app.jacobi_node_fraction,
+    )

@@ -1,0 +1,43 @@
+"""Experiment presets: the paper's platform and our scaled equivalent.
+
+The paper evaluates on a GTX 960M (2 MB L2) with 1024x1024 frames and
+500 Jacobi iterations per pyramid step.  Simulating that configuration
+at trace granularity in pure Python is possible but slow (hundreds of
+millions of cache transactions), so the default experiment scale keeps
+the *footprint-to-cache ratio* of the paper instead of its absolute
+sizes: 256x256 frames against a 512 KB L2 — one flow field is 256 KB,
+and the Jacobi working set (7 fields) exceeds the cache by the same
+~3.5x the paper's top pyramid level exceeds 2 MB.  Every function takes
+the paper-scale parameters if you have the patience.
+
+The scaled platform also uses a 1 us inter-launch gap (vs. the ~8 us
+default) because the scaled kernels are proportionally shorter; the
+ablation `gap_sweep` quantifies exactly how the gap moves the
+break-even point, which is the paper's §II discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.gpusim.arch import GTX_960M, GpuSpec
+
+#: The paper's device, verbatim.
+PAPER_SPEC = GTX_960M
+
+#: Scaled platform for the end-to-end (Figure 5) experiments.
+SCALED_SPEC = replace(GTX_960M, l2_bytes=512 * 1024, launch_gap_us=1.0)
+
+#: Scaled HSOpticalFlow parameters (paper: 1024 / 3 / 500).
+SCALED_FRAME_SIZE = 256
+SCALED_LEVELS = 3
+SCALED_JACOBI_ITERS = 20
+
+#: Paper's headline numbers, for shape checks in benchmarks/EXPERIMENTS.md.
+PAPER_MEAN_GAIN_WITH_IG = 0.25
+PAPER_MEAN_GAIN_WITHOUT_IG = 0.36
+PAPER_FIG2_DEFAULT_HIT_RATE = 0.35
+PAPER_FIG2_TILED_HIT_RATE = 1.00
+PAPER_FIG2_DEFAULT_ISSUE_EFF = 0.31
+PAPER_FIG2_DEFAULT_MEM_STALL_FRACTION = 0.64
+PAPER_FIG2_TILED_MEM_STALL_FRACTION = 0.21

@@ -1,0 +1,144 @@
+"""Memory access modelling.
+
+Kernels describe what each thread block touches as a list of
+:class:`AccessRange` objects — contiguous element ranges over a device
+buffer, tagged with an access kind and memory space.  This module turns
+those ranges into the two representations the rest of the system needs:
+
+* a *line stream* — the ordered sequence of ``(line_id, is_write)``
+  cache transactions a block issues (warp-coalesced: one transaction
+  per 128-byte line a warp covers), consumed by the launch simulator;
+* *line sets* — the unique lines read/written by a block, consumed by
+  the block analyzer for dependency and footprint computation.
+
+Coalescing at line granularity is the substitution for SASSI's
+thread-level trace (see DESIGN.md §2): the scheduler only ever uses
+line-granularity information.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class AccessKind(enum.Enum):
+    """Type of a memory access, mirroring the paper's trace fields."""
+
+    LOAD = "load"
+    STORE = "store"
+    ATOMIC = "atomic"
+
+    @property
+    def writes(self) -> bool:
+        return self is not AccessKind.LOAD
+
+    @property
+    def reads(self) -> bool:
+        # Atomics both read and write their target.
+        return self is not AccessKind.STORE
+
+
+class MemorySpace(enum.Enum):
+    """Target memory space of an access."""
+
+    GLOBAL = "global"
+    SHARED = "shared"
+    TEXTURE = "texture"
+    CONSTANT = "constant"
+
+    @property
+    def cached_in_l2(self) -> bool:
+        """Whether accesses to this space traverse the shared L2."""
+        return self in (MemorySpace.GLOBAL, MemorySpace.TEXTURE)
+
+
+@dataclass(frozen=True)
+class AccessRange:
+    """A contiguous element range accessed by one thread block.
+
+    ``buffer`` must expose ``base_address`` (bytes), ``itemsize``
+    (bytes per element) and ``num_elements``; see
+    :class:`repro.graph.buffers.Buffer`.
+    """
+
+    buffer: object
+    offset: int
+    count: int
+    kind: AccessKind = AccessKind.LOAD
+    space: MemorySpace = MemorySpace.GLOBAL
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.count < 0:
+            raise ConfigurationError("offset/count must be non-negative")
+        if self.offset + self.count > self.buffer.num_elements:
+            raise ConfigurationError(
+                f"range [{self.offset}, {self.offset + self.count}) exceeds "
+                f"buffer '{getattr(self.buffer, 'name', '?')}' of "
+                f"{self.buffer.num_elements} elements"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * self.buffer.itemsize
+
+    def byte_span(self) -> Tuple[int, int]:
+        """Half-open byte address interval covered by this range."""
+        start = self.buffer.base_address + self.offset * self.buffer.itemsize
+        return start, start + self.nbytes
+
+    def lines(self, line_shift: int) -> range:
+        """Line ids covered by this range (empty range when count == 0)."""
+        if self.count == 0:
+            return range(0)
+        start, end = self.byte_span()
+        return range(start >> line_shift, ((end - 1) >> line_shift) + 1)
+
+
+def line_stream(
+    ranges: Sequence[AccessRange], line_shift: int
+) -> List[Tuple[int, bool]]:
+    """Expand access ranges into an ordered ``(line, is_write)`` stream.
+
+    Only spaces cached in the L2 contribute; shared-memory traffic is
+    invisible to the L2.  Atomics appear as writes (they allocate and
+    dirty the line).
+    """
+    stream: List[Tuple[int, bool]] = []
+    for rng in ranges:
+        if not rng.space.cached_in_l2:
+            continue
+        is_write = rng.kind.writes
+        for line in rng.lines(line_shift):
+            stream.append((line, is_write))
+    return stream
+
+
+def line_sets(
+    ranges: Sequence[AccessRange], line_shift: int
+) -> Tuple[Set[int], Set[int]]:
+    """Unique (read_lines, written_lines) for a collection of ranges.
+
+    Atomics contribute to both sets.
+    """
+    reads: Set[int] = set()
+    writes: Set[int] = set()
+    for rng in ranges:
+        if not rng.space.cached_in_l2:
+            continue
+        lines = rng.lines(line_shift)
+        if rng.kind.reads:
+            reads.update(lines)
+        if rng.kind.writes:
+            writes.update(lines)
+    return reads, writes
+
+
+def footprint_bytes(lines: Iterable[int], line_bytes: int) -> int:
+    """Memory footprint, in bytes, of a set of line ids."""
+    if isinstance(lines, (set, frozenset)):
+        return len(lines) * line_bytes
+    return len(set(lines)) * line_bytes

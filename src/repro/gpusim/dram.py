@@ -1,0 +1,73 @@
+"""DRAM timing model.
+
+The miss path is modelled with two first-order components:
+
+* **Latency** — a fixed part (interconnect, controller) plus a part
+  that scales inversely with the memory data rate (command/transfer
+  time): ``fixed_ns + freq_ns * ref_mhz / mem_mhz``.
+* **Bandwidth** — the bus moves ``mem_bus_bytes`` per data-rate cycle,
+  i.e. ``mem_mhz * 1e6 * mem_bus_bytes`` bytes per second.  A launch
+  that misses heavily cannot finish faster than its miss traffic
+  divided by this bandwidth.
+
+Both knobs scale with the memory frequency, which is what produces the
+paper's observation that tiling gains grow as the memory frequency is
+lowered (the miss path gets slower while the L2 hit path, clocked with
+the core, does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.gpusim.arch import GpuSpec
+from repro.gpusim.freq import FrequencyConfig
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """DRAM latency/bandwidth model derived from a :class:`GpuSpec`."""
+
+    fixed_latency_ns: float
+    freq_latency_ns: float
+    ref_mhz: float
+    bus_bytes: int
+
+    def __post_init__(self) -> None:
+        if min(self.fixed_latency_ns, self.freq_latency_ns, self.ref_mhz) < 0:
+            raise ConfigurationError("latency parameters must be non-negative")
+        if self.bus_bytes <= 0:
+            raise ConfigurationError("bus_bytes must be positive")
+
+    @classmethod
+    def from_spec(cls, spec: GpuSpec) -> "DramModel":
+        return cls(
+            fixed_latency_ns=spec.dram_fixed_latency_ns,
+            freq_latency_ns=spec.dram_freq_latency_ns,
+            ref_mhz=spec.dram_ref_mhz,
+            bus_bytes=spec.mem_bus_bytes,
+        )
+
+    def miss_latency_ns(self, freq: FrequencyConfig) -> float:
+        """Latency of one L2 miss in nanoseconds."""
+        return self.fixed_latency_ns + self.freq_latency_ns * (
+            self.ref_mhz / freq.mem_mhz
+        )
+
+    def miss_latency_cycles(self, freq: FrequencyConfig) -> float:
+        """Latency of one L2 miss in GPU core cycles."""
+        return self.miss_latency_ns(freq) * freq.gpu_mhz * 1e-3
+
+    def bandwidth_bytes_per_s(self, freq: FrequencyConfig) -> float:
+        """Peak DRAM bandwidth in bytes per second."""
+        return freq.mem_hz * self.bus_bytes
+
+    def bandwidth_bytes_per_cycle(self, freq: FrequencyConfig) -> float:
+        """Peak DRAM bandwidth in bytes per GPU core cycle."""
+        return self.bandwidth_bytes_per_s(freq) / freq.gpu_hz
+
+    def transfer_cycles(self, nbytes: float, freq: FrequencyConfig) -> float:
+        """GPU cycles needed to move ``nbytes`` at peak bandwidth."""
+        bpc = self.bandwidth_bytes_per_cycle(freq)
+        return nbytes / bpc if bpc > 0 else 0.0

@@ -1,0 +1,73 @@
+"""DVFS frequency configurations.
+
+The paper evaluates KTILER under several (GPU MHz, MEM MHz) operating
+points of the GTX 960M.  Two sets appear in the evaluation:
+
+* Figure 3 (Jacobi throughput vs. grid size) uses
+  ``(405, 405), (1189, 2505), (1324, 800), (1324, 2505)``.
+* Figure 5 (end-to-end application time) uses
+  ``(1324, 5010), (1189, 5010), (1324, 1600), (405, 810)``.
+
+The Figure 5 memory values are effective (double data rate) transfer
+rates while Figure 3 quotes command-clock values; we keep both sets
+verbatim and interpret every MEM value as an *effective data rate* in
+MHz, which only shifts absolute numbers, not shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, order=True)
+class FrequencyConfig:
+    """A (GPU core, memory data-rate) operating point in MHz."""
+
+    gpu_mhz: float
+    mem_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.gpu_mhz <= 0 or self.mem_mhz <= 0:
+            raise ConfigurationError("frequencies must be positive")
+
+    @property
+    def label(self) -> str:
+        return f"({self.gpu_mhz:g},{self.mem_mhz:g})"
+
+    @property
+    def gpu_hz(self) -> float:
+        return self.gpu_mhz * 1e6
+
+    @property
+    def mem_hz(self) -> float:
+        return self.mem_mhz * 1e6
+
+    def cycles_to_us(self, cycles: float) -> float:
+        """Convert GPU core cycles to microseconds."""
+        return cycles / self.gpu_mhz
+
+    def us_to_cycles(self, us: float) -> float:
+        """Convert microseconds to GPU core cycles."""
+        return us * self.gpu_mhz
+
+
+#: Figure 3 series, in the paper's series order (1..4).
+FIG3_CONFIGS = (
+    FrequencyConfig(405.0, 405.0),
+    FrequencyConfig(1189.0, 2505.0),
+    FrequencyConfig(1324.0, 800.0),
+    FrequencyConfig(1324.0, 2505.0),
+)
+
+#: Figure 5 configurations, in the paper's left-to-right bar order.
+FIG5_CONFIGS = (
+    FrequencyConfig(1324.0, 5010.0),
+    FrequencyConfig(1189.0, 5010.0),
+    FrequencyConfig(1324.0, 1600.0),
+    FrequencyConfig(405.0, 810.0),
+)
+
+#: The device's nominal full-speed operating point.
+NOMINAL = FrequencyConfig(1324.0, 5010.0)

@@ -1,0 +1,86 @@
+"""Execution timeline with inter-launch gaps (Timeline View analog).
+
+The paper measures KTILER in two modes: with the *inter-launch gap*
+(IG) — the driver-induced idle time between consecutive kernel
+launches — and with the IG hypothetically removed (measured with the
+NVIDIA Timeline View tool).  Tiling multiplies the number of launches,
+so the IG is the main overhead KTILER pays; a :class:`Timeline` makes
+both views of the same run available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One launch on the timeline."""
+
+    label: str
+    start_us: float
+    duration_us: float
+    gap_before_us: float
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.duration_us
+
+
+class Timeline:
+    """An append-only sequence of launches separated by gaps."""
+
+    def __init__(self, launch_gap_us: float = 0.0):
+        self.launch_gap_us = launch_gap_us
+        self._events: List[TimelineEvent] = []
+        self._cursor_us = 0.0
+
+    def add_launch(self, label: str, duration_us: float, gap_us: float = None) -> TimelineEvent:
+        """Append a launch; a gap precedes every launch but the first."""
+        gap = self.launch_gap_us if gap_us is None else gap_us
+        gap_before = gap if self._events else 0.0
+        event = TimelineEvent(
+            label=label,
+            start_us=self._cursor_us + gap_before,
+            duration_us=duration_us,
+            gap_before_us=gap_before,
+        )
+        self._events.append(event)
+        self._cursor_us = event.end_us
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TimelineEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[TimelineEvent]:
+        return list(self._events)
+
+    @property
+    def num_launches(self) -> int:
+        return len(self._events)
+
+    @property
+    def total_gap_us(self) -> float:
+        """Total idle time between launches."""
+        return sum(e.gap_before_us for e in self._events)
+
+    @property
+    def busy_us(self) -> float:
+        """Time spent actually processing data (the "w/o IG" view)."""
+        return sum(e.duration_us for e in self._events)
+
+    @property
+    def total_us(self) -> float:
+        """End-to-end time including gaps (the "with IG" view)."""
+        return self._cursor_us
+
+    def summary(self) -> str:
+        return (
+            f"{self.num_launches} launches, busy {self.busy_us:.1f}us, "
+            f"gaps {self.total_gap_us:.1f}us, total {self.total_us:.1f}us"
+        )

@@ -1,0 +1,19 @@
+"""Application-level modelling: device buffers, kernel DAG, block deps."""
+
+from repro.graph.block_graph import BlockDependencyGraph
+from repro.graph.export import partition_to_dot, schedule_gantt, to_dot
+from repro.graph.buffers import Buffer, BufferAllocator
+from repro.graph.kernel_graph import Edge, EdgeKind, KernelGraph, KernelNode
+
+__all__ = [
+    "Buffer",
+    "BufferAllocator",
+    "Edge",
+    "EdgeKind",
+    "KernelGraph",
+    "KernelNode",
+    "BlockDependencyGraph",
+    "to_dot",
+    "partition_to_dot",
+    "schedule_gantt",
+]

@@ -1,0 +1,165 @@
+"""Device buffers and the device address space.
+
+Every kernel input/output lives in a :class:`Buffer` — a named,
+contiguous region of the simulated device address space.  A
+:class:`BufferAllocator` hands out line-aligned base addresses so that
+distinct buffers never share a cache line (real allocators give at
+least this alignment for ``cudaMalloc`` regions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(eq=False)
+class Buffer:
+    """A contiguous device allocation.
+
+    Parameters
+    ----------
+    name:
+        Unique (per application) buffer name, e.g. ``"intm"``.
+    num_elements:
+        Number of elements in the buffer.
+    itemsize:
+        Bytes per element (4 for float32 pixels).
+    shape:
+        Optional logical shape, ``(height, width)`` for images; when
+        given, ``height * width`` must equal ``num_elements``.
+    base_address:
+        Assigned by :class:`BufferAllocator`; -1 until allocated.
+    """
+
+    name: str
+    num_elements: int
+    itemsize: int = 4
+    shape: Optional[Tuple[int, ...]] = None
+    base_address: int = -1
+
+    def __post_init__(self) -> None:
+        if self.num_elements <= 0:
+            raise ConfigurationError(f"buffer '{self.name}' must be non-empty")
+        if self.itemsize <= 0:
+            raise ConfigurationError("itemsize must be positive")
+        if self.shape is not None:
+            size = 1
+            for dim in self.shape:
+                size *= dim
+            if size != self.num_elements:
+                raise ConfigurationError(
+                    f"shape {self.shape} does not match "
+                    f"{self.num_elements} elements"
+                )
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_elements * self.itemsize
+
+    @property
+    def allocated(self) -> bool:
+        return self.base_address >= 0
+
+    @property
+    def height(self) -> int:
+        if self.shape is None or len(self.shape) != 2:
+            raise ConfigurationError(f"buffer '{self.name}' is not 2D")
+        return self.shape[0]
+
+    @property
+    def width(self) -> int:
+        if self.shape is None or len(self.shape) != 2:
+            raise ConfigurationError(f"buffer '{self.name}' is not 2D")
+        return self.shape[1]
+
+    def element_offset(self, row: int, col: int) -> int:
+        """Row-major element index of a 2D coordinate."""
+        width = self.width
+        if not (0 <= row < self.height and 0 <= col < width):
+            raise ConfigurationError(
+                f"({row}, {col}) outside buffer '{self.name}' {self.shape}"
+            )
+        return row * width + col
+
+    def lines(self, line_shift: int) -> range:
+        """All line ids covered by this buffer."""
+        if not self.allocated:
+            raise ConfigurationError(f"buffer '{self.name}' is not allocated")
+        start = self.base_address
+        end = start + self.nbytes
+        return range(start >> line_shift, ((end - 1) >> line_shift) + 1)
+
+    def make_array(self, dtype=np.float32) -> np.ndarray:
+        """A zero-filled numpy array matching this buffer's geometry."""
+        if np.dtype(dtype).itemsize != self.itemsize:
+            raise ConfigurationError(
+                f"dtype {dtype} itemsize != buffer itemsize {self.itemsize}"
+            )
+        arr = np.zeros(self.num_elements, dtype=dtype)
+        return arr.reshape(self.shape) if self.shape is not None else arr
+
+    def __repr__(self) -> str:
+        shape = self.shape if self.shape is not None else (self.num_elements,)
+        return f"Buffer({self.name!r}, shape={shape}, base=0x{self.base_address:x})"
+
+
+class BufferAllocator:
+    """Assigns line-aligned base addresses in a flat device address space."""
+
+    def __init__(self, line_bytes: int = 128, base: int = 0x1000_0000):
+        if line_bytes <= 0:
+            raise ConfigurationError("line_bytes must be positive")
+        self.line_bytes = line_bytes
+        self._next = self._align(base)
+        self._buffers: Dict[str, Buffer] = {}
+
+    def _align(self, addr: int) -> int:
+        mask = self.line_bytes - 1
+        return (addr + mask) & ~mask
+
+    def allocate(self, buffer: Buffer) -> Buffer:
+        """Assign a base address to ``buffer`` and register it."""
+        if buffer.name in self._buffers:
+            raise ConfigurationError(f"buffer '{buffer.name}' already allocated")
+        buffer.base_address = self._next
+        self._next = self._align(self._next + buffer.nbytes)
+        self._buffers[buffer.name] = buffer
+        return buffer
+
+    def new(
+        self,
+        name: str,
+        num_elements: int,
+        itemsize: int = 4,
+        shape: Optional[Tuple[int, ...]] = None,
+    ) -> Buffer:
+        """Create and allocate a buffer in one call."""
+        return self.allocate(Buffer(name, num_elements, itemsize, shape))
+
+    def new_image(self, name: str, height: int, width: int, itemsize: int = 4) -> Buffer:
+        """Create and allocate a 2D float image buffer."""
+        return self.new(name, height * width, itemsize, (height, width))
+
+    def get(self, name: str) -> Buffer:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown buffer '{name}'") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buffers
+
+    def __iter__(self) -> Iterator[Buffer]:
+        return iter(self._buffers.values())
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(b.nbytes for b in self._buffers.values())

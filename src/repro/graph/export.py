@@ -1,0 +1,127 @@
+"""Graph and schedule visualization exports.
+
+Text-first tooling for inspecting what the scheduler did:
+
+* :func:`to_dot` — Graphviz DOT of the application graph (the Figure 4
+  picture), optionally colored by cluster;
+* :func:`schedule_gantt` — an ASCII lane view of a schedule, one lane
+  per node, showing how KTILER interleaves producer and consumer
+  sub-kernels (the Figure 1 interleaving, made visible).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.graph.kernel_graph import EdgeKind, KernelGraph
+
+#: A qualitative palette for cluster coloring (Graphviz color names).
+_PALETTE = (
+    "lightblue", "lightsalmon", "palegreen", "plum", "khaki",
+    "lightpink", "lightcyan", "wheat", "lavender", "honeydew",
+)
+
+
+def to_dot(
+    graph: KernelGraph,
+    clusters: Optional[Dict[int, int]] = None,
+    include_anti: bool = False,
+    max_nodes: int = 500,
+) -> str:
+    """Graphviz DOT source for an application graph.
+
+    ``clusters`` maps node id to cluster id; nodes of one cluster share
+    a fill color.  Graphs above ``max_nodes`` nodes are summarized per
+    kernel name instead of drawn node-by-node (a 1500-node DFG is not a
+    useful picture).
+    """
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;",
+             "  node [shape=box, style=filled, fillcolor=white];"]
+    if len(graph) > max_nodes:
+        hist = graph.kernel_name_histogram()
+        for name, count in sorted(hist.items()):
+            lines.append(f'  "{name}" [label="{name} x{count}"];')
+        seen = set()
+        for edge in graph.data_edges():
+            src = graph.node(edge.src).kernel.name
+            dst = graph.node(edge.dst).kernel.name
+            if (src, dst) not in seen and src != dst:
+                seen.add((src, dst))
+                lines.append(f'  "{src}" -> "{dst}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    for node in graph:
+        attrs = [f'label="{node.name}"']
+        if clusters is not None and node.node_id in clusters:
+            color = _PALETTE[clusters[node.node_id] % len(_PALETTE)]
+            attrs.append(f"fillcolor={color}")
+        if not node.tileable:
+            attrs.append("shape=ellipse")
+        lines.append(f"  n{node.node_id} [{', '.join(attrs)}];")
+    for edge in graph.edges:
+        if edge.kind is EdgeKind.ANTI:
+            if not include_anti:
+                continue
+            style = ' [style=dashed, color=gray, label="anti"]'
+        else:
+            style = f' [label="{edge.buffer.name}"]'
+        lines.append(f"  n{edge.src} -> n{edge.dst}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def partition_to_dot(graph: KernelGraph, partition) -> str:
+    """DOT of the graph colored by a scheduler partition."""
+    clusters = {
+        node_id: cluster_id
+        for cluster_id in partition.cluster_ids()
+        for node_id in partition.members(cluster_id)
+    }
+    return to_dot(graph, clusters=clusters)
+
+
+def schedule_gantt(
+    schedule,
+    graph: KernelGraph,
+    width: int = 72,
+    max_nodes: int = 24,
+) -> str:
+    """ASCII lane chart: launch order horizontally, one lane per node.
+
+    Each column is one launch; a cell shows the per-mille of the node's
+    blocks covered by that launch as a glyph (``.`` tiny ... ``#``
+    full), so interleaved sub-kernels appear as alternating marks.
+    """
+    subs = list(schedule)
+    node_ids: List[int] = []
+    for sub in subs:
+        if sub.node_id not in node_ids:
+            node_ids.append(sub.node_id)
+    if len(node_ids) > max_nodes:
+        node_ids = node_ids[:max_nodes]
+    columns = len(subs)
+    stride = max(1, -(-columns // width))
+    lanes: Dict[int, List[str]] = {
+        node_id: [" "] * -(-columns // stride) for node_id in node_ids
+    }
+    glyphs = ".:-=+*#"
+    for position, sub in enumerate(subs):
+        if sub.node_id not in lanes:
+            continue
+        node = graph.node(sub.node_id)
+        fraction = sub.num_blocks / node.num_blocks
+        glyph = glyphs[min(len(glyphs) - 1, int(fraction * (len(glyphs) - 1) + 0.5))]
+        cell = position // stride
+        if lanes[sub.node_id][cell] == " " or glyph > lanes[sub.node_id][cell]:
+            lanes[sub.node_id][cell] = glyph
+    name_width = max(len(graph.node(n).name) for n in node_ids)
+    lines = [
+        f"{schedule.name}: {len(subs)} launches "
+        f"({stride} per column, lanes for {len(node_ids)} of "
+        f"{len(set(s.node_id for s in subs))} nodes)"
+    ]
+    for node_id in node_ids:
+        label = graph.node(node_id).name.ljust(name_width)
+        lines.append(f"  {label} |{''.join(lanes[node_id])}|")
+    return "\n".join(lines)

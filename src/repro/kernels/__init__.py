@@ -1,0 +1,62 @@
+"""Kernel library: geometry + access patterns + functional bodies.
+
+Every class here models a CUDA kernel at block granularity; see
+:mod:`repro.kernels.base` for the abstraction.
+"""
+
+from repro.kernels.base import ImageKernel, KernelSpec, row_accesses
+from repro.kernels.copy import (
+    COPY_BLOCK_ELEMENTS,
+    DeviceCopyKernel,
+    DeviceToHostKernel,
+    HostToDeviceKernel,
+)
+from repro.kernels.derivatives import DerivativesKernel
+from repro.kernels.finance import BS_CHUNK, BlackScholesKernel
+from repro.kernels.jacobi import JacobiKernel
+from repro.kernels.linalg import MatMulKernel, TransposeKernel
+from repro.kernels.pointwise import (
+    AddKernel,
+    GrayscaleKernel,
+    MemsetKernel,
+    ScaleKernel,
+)
+from repro.kernels.reduce import REDUCE_CHUNK, ReductionKernel, build_reduction_chain
+from repro.kernels.resize import DownscaleKernel, UpscaleKernel
+from repro.kernels.scan import SCAN_CHUNK, ScanStepKernel, build_scan_chain
+from repro.kernels.sort import SORT_CHUNK, BitonicStepKernel, build_bitonic_network
+from repro.kernels.stencil import ConvolveKernel
+from repro.kernels.warp import WarpKernel
+
+__all__ = [
+    "KernelSpec",
+    "ImageKernel",
+    "row_accesses",
+    "GrayscaleKernel",
+    "AddKernel",
+    "ScaleKernel",
+    "MemsetKernel",
+    "DownscaleKernel",
+    "UpscaleKernel",
+    "WarpKernel",
+    "DerivativesKernel",
+    "JacobiKernel",
+    "ConvolveKernel",
+    "ReductionKernel",
+    "build_reduction_chain",
+    "REDUCE_CHUNK",
+    "ScanStepKernel",
+    "build_scan_chain",
+    "SCAN_CHUNK",
+    "BitonicStepKernel",
+    "build_bitonic_network",
+    "SORT_CHUNK",
+    "MatMulKernel",
+    "TransposeKernel",
+    "BlackScholesKernel",
+    "BS_CHUNK",
+    "HostToDeviceKernel",
+    "DeviceToHostKernel",
+    "DeviceCopyKernel",
+    "COPY_BLOCK_ELEMENTS",
+]

@@ -1,0 +1,114 @@
+"""Memory-copy pseudo-kernels (the HtD/DtH nodes of Figure 4).
+
+Host transfers appear in the application graph as 1D pseudo-kernels so
+that the block analyzer sees who first writes the input frames and who
+finally reads the flow field.  They are never tiled (no cache benefit
+in splitting a DMA transfer), which app builders express by adding
+them with ``tileable=False``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.access import AccessKind, AccessRange
+from repro.graph.buffers import Buffer
+from repro.kernels.base import KernelSpec
+
+#: Elements handled by one copy block (matches a 256-thread block
+#: moving 16 elements per thread).
+COPY_BLOCK_ELEMENTS = 4096
+
+
+class HostToDeviceKernel(KernelSpec):
+    """Models a host-to-device transfer into ``dst`` (writes only)."""
+
+    def __init__(self, dst: Buffer, name: str = "HtD"):
+        blocks = -(-dst.num_elements // COPY_BLOCK_ELEMENTS)
+        super().__init__(
+            name, (blocks, 1), (256, 1), (), (dst,), instrs_per_thread=20.0
+        )
+        self.dst = dst
+
+    def _chunk(self, bx: int):
+        start = bx * COPY_BLOCK_ELEMENTS
+        count = min(COPY_BLOCK_ELEMENTS, self.dst.num_elements - start)
+        return start, count
+
+    def block_accesses(self, bx: int, by: int) -> List[AccessRange]:
+        del by
+        start, count = self._chunk(bx)
+        return [AccessRange(self.dst, start, count, AccessKind.STORE)]
+
+    def run_block(self, arrays: Dict[str, np.ndarray], bx: int, by: int) -> None:
+        # The host-side payload is staged under '<dst>__host'.
+        del by
+        start, count = self._chunk(bx)
+        src = arrays[f"{self.dst.name}__host"].reshape(-1)
+        arrays[self.dst.name].reshape(-1)[start : start + count] = src[
+            start : start + count
+        ]
+
+
+class DeviceToHostKernel(KernelSpec):
+    """Models a device-to-host transfer out of ``src`` (reads only)."""
+
+    def __init__(self, src: Buffer, name: str = "DtH"):
+        blocks = -(-src.num_elements // COPY_BLOCK_ELEMENTS)
+        # The host destination is not a device buffer; model as read-only.
+        super().__init__(
+            name, (blocks, 1), (256, 1), (src,), (), instrs_per_thread=20.0
+        )
+        self.src = src
+
+    def block_accesses(self, bx: int, by: int) -> List[AccessRange]:
+        del by
+        start = bx * COPY_BLOCK_ELEMENTS
+        count = min(COPY_BLOCK_ELEMENTS, self.src.num_elements - start)
+        return [AccessRange(self.src, start, count, AccessKind.LOAD)]
+
+    def run_block(self, arrays: Dict[str, np.ndarray], bx: int, by: int) -> None:
+        del by
+        start = bx * COPY_BLOCK_ELEMENTS
+        count = min(COPY_BLOCK_ELEMENTS, self.src.num_elements - start)
+        dst = arrays.setdefault(
+            f"{self.src.name}__host",
+            np.zeros_like(arrays[self.src.name]),
+        )
+        dst.reshape(-1)[start : start + count] = arrays[self.src.name].reshape(-1)[
+            start : start + count
+        ]
+
+
+class DeviceCopyKernel(KernelSpec):
+    """Device-to-device 1D copy (used by synthetic workloads)."""
+
+    def __init__(self, src: Buffer, dst: Buffer, name: str = "memcpy"):
+        if src.num_elements != dst.num_elements or src.itemsize != dst.itemsize:
+            raise ConfigurationError("memcpy: src and dst must match")
+        blocks = -(-dst.num_elements // COPY_BLOCK_ELEMENTS)
+        super().__init__(
+            name, (blocks, 1), (256, 1), (src,), (dst,), instrs_per_thread=16.0
+        )
+        self.src = src
+        self.dst = dst
+
+    def block_accesses(self, bx: int, by: int) -> List[AccessRange]:
+        del by
+        start = bx * COPY_BLOCK_ELEMENTS
+        count = min(COPY_BLOCK_ELEMENTS, self.dst.num_elements - start)
+        return [
+            AccessRange(self.src, start, count, AccessKind.LOAD),
+            AccessRange(self.dst, start, count, AccessKind.STORE),
+        ]
+
+    def run_block(self, arrays: Dict[str, np.ndarray], bx: int, by: int) -> None:
+        del by
+        start = bx * COPY_BLOCK_ELEMENTS
+        count = min(COPY_BLOCK_ELEMENTS, self.dst.num_elements - start)
+        arrays[self.dst.name].reshape(-1)[start : start + count] = arrays[
+            self.src.name
+        ].reshape(-1)[start : start + count]

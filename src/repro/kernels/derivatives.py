@@ -1,0 +1,84 @@
+"""Image derivative kernel (the DV nodes of HSOpticalFlow).
+
+Computes the spatial and temporal derivatives the Horn–Schunck update
+needs, from the first frame and the warped second frame:
+
+* ``ix = d/dx`` of the frame average (central difference, clamped),
+* ``iy = d/dy`` of the frame average,
+* ``it = warped - frame0``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.access import AccessKind, AccessRange
+from repro.graph.buffers import Buffer
+from repro.kernels.base import ImageKernel, row_accesses
+
+
+class DerivativesKernel(ImageKernel):
+    """ix, iy, it from (frame0, warped); one thread per pixel."""
+
+    def __init__(
+        self,
+        frame0: Buffer,
+        warped: Buffer,
+        ix: Buffer,
+        iy: Buffer,
+        it: Buffer,
+        block=(32, 8),
+    ):
+        for buf in (frame0, warped, iy, it):
+            if buf.shape != ix.shape:
+                raise ConfigurationError("derivatives: all buffers must share a shape")
+        super().__init__(
+            "derivatives",
+            ix,
+            (frame0, warped),
+            block,
+            instrs_per_thread=56.0,
+            extra_outputs=(iy, it),
+        )
+        self.frame0 = frame0
+        self.warped = warped
+        self.ix = ix
+        self.iy = iy
+        self.it = it
+
+    def tile_reads(self, bx: int, by: int) -> List[AccessRange]:
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        ranges: List[AccessRange] = []
+        for buf in (self.frame0, self.warped):
+            ranges += row_accesses(
+                buf, row0 - 1, row1 + 1, col0 - 1, col1 + 1, AccessKind.LOAD
+            )
+        return ranges
+
+    def tile_writes(self, bx: int, by: int) -> List[AccessRange]:
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        ranges: List[AccessRange] = []
+        for buf in (self.ix, self.iy, self.it):
+            ranges += row_accesses(buf, row0, row1, col0, col1, AccessKind.STORE)
+        return ranges
+
+    def run_block(self, arrays: Dict[str, np.ndarray], bx: int, by: int) -> None:
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        f0 = arrays[self.frame0.name]
+        f1 = arrays[self.warped.name]
+        h, w = f0.shape
+        # Work on the tile plus a 1-pixel clamped halo only.
+        ys = np.clip(np.arange(row0 - 1, row1 + 1), 0, h - 1)
+        xs = np.clip(np.arange(col0 - 1, col1 + 1), 0, w - 1)
+        region = np.ix_(ys, xs)
+        avg = ((f0[region] + f1[region]) * np.float32(0.5)).astype(np.float32)
+        inner = (slice(1, 1 + row1 - row0), slice(1, 1 + col1 - col0))
+        ix_t = (avg[inner[0], 2:] - avg[inner[0], :-2]) * np.float32(0.5)
+        iy_t = (avg[2:, inner[1]] - avg[:-2, inner[1]]) * np.float32(0.5)
+        sl = (slice(row0, row1), slice(col0, col1))
+        arrays[self.ix.name][sl] = ix_t
+        arrays[self.iy.name][sl] = iy_t
+        arrays[self.it.name][sl] = f1[sl] - f0[sl]

@@ -1,0 +1,97 @@
+"""Black–Scholes option-pricing kernel (§II tiling-suitability workload).
+
+Pointwise over five arrays (spot, strike, expiry in; call, put out)
+with a moderate amount of arithmetic per element — enough that at full
+frequency it is compute-leaning, while at reduced memory frequency it
+turns memory-bound and benefits from tiling, as the paper observes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.access import AccessKind, AccessRange
+from repro.graph.buffers import Buffer
+from repro.kernels.base import KernelSpec
+
+#: Elements priced by one 256-thread block (4 options per thread).
+BS_CHUNK = 1024
+
+
+def _norm_cdf(x: np.ndarray) -> np.ndarray:
+    return 0.5 * (1.0 + np.vectorize(math.erf)(x / math.sqrt(2.0)))
+
+
+class BlackScholesKernel(KernelSpec):
+    """European call/put prices for arrays of options."""
+
+    def __init__(
+        self,
+        spot: Buffer,
+        strike: Buffer,
+        expiry: Buffer,
+        call: Buffer,
+        put: Buffer,
+        riskfree: float = 0.02,
+        volatility: float = 0.30,
+    ):
+        n = spot.num_elements
+        for buf in (strike, expiry, call, put):
+            if buf.num_elements != n:
+                raise ConfigurationError("black-scholes: array sizes must match")
+        blocks = -(-n // BS_CHUNK)
+        super().__init__(
+            "blackscholes",
+            (blocks, 1),
+            (256, 1),
+            (spot, strike, expiry),
+            (call, put),
+            instrs_per_thread=96.0,
+        )
+        self.spot = spot
+        self.strike = strike
+        self.expiry = expiry
+        self.call = call
+        self.put = put
+        self.riskfree = float(riskfree)
+        self.volatility = float(volatility)
+
+    def _chunk(self, bx: int) -> Tuple[int, int]:
+        start = bx * BS_CHUNK
+        return start, min(BS_CHUNK, self.spot.num_elements - start)
+
+    def block_accesses(self, bx: int, by: int) -> List[AccessRange]:
+        del by
+        start, count = self._chunk(bx)
+        ranges = [
+            AccessRange(buf, start, count, AccessKind.LOAD)
+            for buf in (self.spot, self.strike, self.expiry)
+        ]
+        ranges += [
+            AccessRange(buf, start, count, AccessKind.STORE)
+            for buf in (self.call, self.put)
+        ]
+        return ranges
+
+    def run_block(self, arrays: Dict[str, np.ndarray], bx: int, by: int) -> None:
+        del by
+        start, count = self._chunk(bx)
+        sl = slice(start, start + count)
+        s = arrays[self.spot.name].reshape(-1)[sl].astype(np.float64)
+        k = arrays[self.strike.name].reshape(-1)[sl].astype(np.float64)
+        t = arrays[self.expiry.name].reshape(-1)[sl].astype(np.float64)
+        r, vol = self.riskfree, self.volatility
+        sqrt_t = np.sqrt(np.maximum(t, 1e-9))
+        d1 = (np.log(np.maximum(s / k, 1e-9)) + (r + 0.5 * vol * vol) * t) / (
+            vol * sqrt_t
+        )
+        d2 = d1 - vol * sqrt_t
+        disc = np.exp(-r * t)
+        call = s * _norm_cdf(d1) - k * disc * _norm_cdf(d2)
+        put = k * disc * _norm_cdf(-d2) - s * _norm_cdf(-d1)
+        arrays[self.call.name].reshape(-1)[sl] = call.astype(np.float32)
+        arrays[self.put.name].reshape(-1)[sl] = put.astype(np.float32)

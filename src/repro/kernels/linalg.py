@@ -1,0 +1,90 @@
+"""Dense linear-algebra kernels (§II tiling-suitability workloads).
+
+* :class:`MatMulKernel` — naive (non-shared-memory) GEMM; the paper
+  notes matrix multiplication responds to kernel tiling "on arrays with
+  special dimensions" (tall-skinny products whose panels fit in L2).
+* :class:`TransposeKernel` — strided reads make it bandwidth-hungry
+  with zero per-thread reuse, a classic cache-sensitive kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.access import AccessKind, AccessRange
+from repro.graph.buffers import Buffer
+from repro.kernels.base import ImageKernel, KernelSpec, row_accesses
+
+
+class MatMulKernel(KernelSpec):
+    """C = A @ B with 2D blocks over C; A is (m, k), B is (k, n)."""
+
+    def __init__(self, a: Buffer, b: Buffer, c: Buffer, block=(32, 8)):
+        m, k = a.height, a.width
+        kb, n = b.height, b.width
+        if kb != k or c.shape != (m, n):
+            raise ConfigurationError(
+                f"matmul: incompatible shapes {a.shape} x {b.shape} -> {c.shape}"
+            )
+        grid = (-(-n // block[0]), -(-m // block[1]))
+        super().__init__(
+            "matmul",
+            grid,
+            block,
+            (a, b),
+            (c,),
+            # 2 ops per k element per output.
+            instrs_per_thread=8.0 + 2.0 * k,
+        )
+        self.a = a
+        self.b = b
+        self.c = c
+
+    def _tile(self, bx: int, by: int):
+        bw, bh = self.block
+        row0 = by * bh
+        col0 = bx * bw
+        return (
+            row0,
+            min(self.c.height, row0 + bh),
+            col0,
+            min(self.c.width, col0 + bw),
+        )
+
+    def block_accesses(self, bx: int, by: int) -> List[AccessRange]:
+        row0, row1, col0, col1 = self._tile(bx, by)
+        k = self.a.width
+        ranges = row_accesses(self.a, row0, row1, 0, k, AccessKind.LOAD)
+        ranges += row_accesses(self.b, 0, k, col0, col1, AccessKind.LOAD)
+        ranges += row_accesses(self.c, row0, row1, col0, col1, AccessKind.STORE)
+        return ranges
+
+    def run_block(self, arrays: Dict[str, np.ndarray], bx: int, by: int) -> None:
+        row0, row1, col0, col1 = self._tile(bx, by)
+        a = arrays[self.a.name][row0:row1, :]
+        b = arrays[self.b.name][:, col0:col1]
+        arrays[self.c.name][row0:row1, col0:col1] = a @ b
+
+
+class TransposeKernel(ImageKernel):
+    """out = src.T; out is (w, h) for an (h, w) source."""
+
+    def __init__(self, src: Buffer, out: Buffer, block=(32, 8)):
+        if (src.width, src.height) != (out.height, out.width):
+            raise ConfigurationError("transpose: out must be src transposed")
+        super().__init__("transpose", out, (src,), block, instrs_per_thread=20.0)
+        self.src = src
+
+    def tile_reads(self, bx: int, by: int) -> List[AccessRange]:
+        # Output tile rows [row0, row1) x cols [col0, col1) come from
+        # source rows [col0, col1) x cols [row0, row1): strided reads.
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        return row_accesses(self.src, col0, col1, row0, row1, AccessKind.LOAD)
+
+    def run_block(self, arrays: Dict[str, np.ndarray], bx: int, by: int) -> None:
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        src = arrays[self.src.name]
+        arrays[self.out.name][row0:row1, col0:col1] = src[col0:col1, row0:row1].T

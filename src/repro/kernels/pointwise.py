@@ -1,0 +1,109 @@
+"""Pointwise image kernels: grayscale conversion, add, scale, memset.
+
+These are the low-data-locality / one-pass kernels of the paper's
+motivational example (kernel A is a grayscale conversion) and of the
+HSOpticalFlow graph (the AD nodes add the flow increment to the flow).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.access import AccessKind, AccessRange
+from repro.graph.buffers import Buffer
+from repro.kernels.base import ImageKernel, row_accesses
+
+
+class GrayscaleKernel(ImageKernel):
+    """RGBA (interleaved, 4 floats per pixel) to grayscale.
+
+    The input buffer has shape ``(h, 4*w)``: pixel (y, x) occupies
+    elements ``4x .. 4x+3`` of row y.  This is the paper's kernel *A*
+    in Figure 1.
+    """
+
+    def __init__(self, src: Buffer, out: Buffer, block=(32, 8)):
+        if src.height != out.height or src.width != 4 * out.width:
+            raise ConfigurationError(
+                "grayscale: src must be (h, 4w) for an (h, w) output"
+            )
+        super().__init__("grayscale", out, (src,), block, instrs_per_thread=40.0)
+        self.src = src
+
+    def tile_reads(self, bx: int, by: int) -> List[AccessRange]:
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        return row_accesses(
+            self.src, row0, row1, 4 * col0, 4 * col1, AccessKind.LOAD
+        )
+
+    def run_block(self, arrays: Dict[str, np.ndarray], bx: int, by: int) -> None:
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        src = arrays[self.src.name]
+        out = arrays[self.out.name]
+        tile = src[row0:row1, 4 * col0 : 4 * col1].reshape(row1 - row0, -1, 4)
+        out[row0:row1, col0:col1] = (
+            0.299 * tile[:, :, 0] + 0.587 * tile[:, :, 1] + 0.114 * tile[:, :, 2]
+        ).astype(np.float32)
+
+
+class AddKernel(ImageKernel):
+    """Pointwise ``out = a + b`` (the AD nodes of HSOpticalFlow)."""
+
+    def __init__(self, a: Buffer, b: Buffer, out: Buffer, block=(32, 8), name="add"):
+        for buf in (a, b):
+            if buf.shape != out.shape:
+                raise ConfigurationError("add: operand shapes must match output")
+        super().__init__(name, out, (a, b), block, instrs_per_thread=24.0)
+        self.a = a
+        self.b = b
+
+    def tile_reads(self, bx: int, by: int) -> List[AccessRange]:
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        ranges = row_accesses(self.a, row0, row1, col0, col1, AccessKind.LOAD)
+        ranges += row_accesses(self.b, row0, row1, col0, col1, AccessKind.LOAD)
+        return ranges
+
+    def run_block(self, arrays: Dict[str, np.ndarray], bx: int, by: int) -> None:
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        a = arrays[self.a.name][row0:row1, col0:col1]
+        b = arrays[self.b.name][row0:row1, col0:col1]
+        arrays[self.out.name][row0:row1, col0:col1] = a + b
+
+
+class ScaleKernel(ImageKernel):
+    """Pointwise ``out = scale * src``."""
+
+    def __init__(self, src: Buffer, out: Buffer, scale: float, block=(32, 8)):
+        if src.shape != out.shape:
+            raise ConfigurationError("scale: shapes must match")
+        super().__init__("scale", out, (src,), block, instrs_per_thread=16.0)
+        self.src = src
+        self.scale = float(scale)
+
+    def tile_reads(self, bx: int, by: int) -> List[AccessRange]:
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        return row_accesses(self.src, row0, row1, col0, col1, AccessKind.LOAD)
+
+    def run_block(self, arrays: Dict[str, np.ndarray], bx: int, by: int) -> None:
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        src = arrays[self.src.name][row0:row1, col0:col1]
+        arrays[self.out.name][row0:row1, col0:col1] = self.scale * src
+
+
+class MemsetKernel(ImageKernel):
+    """Write a constant to the whole output (the ``{0}`` nodes of Fig. 4)."""
+
+    def __init__(self, out: Buffer, value: float = 0.0, block=(32, 8)):
+        super().__init__("memset", out, (), block, instrs_per_thread=8.0)
+        self.value = float(value)
+
+    def tile_reads(self, bx: int, by: int) -> List[AccessRange]:
+        del bx, by
+        return []
+
+    def run_block(self, arrays: Dict[str, np.ndarray], bx: int, by: int) -> None:
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        arrays[self.out.name][row0:row1, col0:col1] = self.value

@@ -1,0 +1,75 @@
+"""Parallel reduction kernel (§II tiling-suitability workload).
+
+Each block sums a contiguous chunk of the input and writes one partial
+sum; a full reduction is a chain of these kernels (see
+:func:`build_reduction_chain`).  Reduction is a *low* data-locality
+kernel — every element is read exactly once — so its hit rate is
+dominated by whether the producer's output is still cached, which is
+why the paper lists it among the kernels that respond well to tiling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.access import AccessKind, AccessRange
+from repro.graph.buffers import Buffer, BufferAllocator
+from repro.kernels.base import KernelSpec
+
+#: Elements reduced by one 256-thread block (8 elements per thread).
+REDUCE_CHUNK = 2048
+
+
+class ReductionKernel(KernelSpec):
+    """Block-wise partial sum: out[b] = sum(src[b*chunk : (b+1)*chunk])."""
+
+    def __init__(self, src: Buffer, out: Buffer, name: str = "reduce"):
+        blocks = -(-src.num_elements // REDUCE_CHUNK)
+        if out.num_elements < blocks:
+            raise ConfigurationError(
+                f"reduce: output needs >= {blocks} elements, has {out.num_elements}"
+            )
+        super().__init__(
+            name, (blocks, 1), (256, 1), (src,), (out,), instrs_per_thread=40.0
+        )
+        self.src = src
+        self.out = out
+
+    def block_accesses(self, bx: int, by: int) -> List[AccessRange]:
+        del by
+        start = bx * REDUCE_CHUNK
+        count = min(REDUCE_CHUNK, self.src.num_elements - start)
+        return [
+            AccessRange(self.src, start, count, AccessKind.LOAD),
+            AccessRange(self.out, bx, 1, AccessKind.STORE),
+        ]
+
+    def run_block(self, arrays: Dict[str, np.ndarray], bx: int, by: int) -> None:
+        del by
+        start = bx * REDUCE_CHUNK
+        count = min(REDUCE_CHUNK, self.src.num_elements - start)
+        chunk = arrays[self.src.name].reshape(-1)[start : start + count]
+        arrays[self.out.name].reshape(-1)[bx] = chunk.astype(np.float64).sum()
+
+
+def build_reduction_chain(
+    alloc: BufferAllocator, src: Buffer, prefix: str = "red"
+) -> Tuple[List[ReductionKernel], Buffer]:
+    """Kernels reducing ``src`` down to a single element.
+
+    Returns the kernel chain (in launch order) and the final
+    one-element buffer.
+    """
+    kernels: List[ReductionKernel] = []
+    current = src
+    level = 0
+    while current.num_elements > 1:
+        blocks = -(-current.num_elements // REDUCE_CHUNK)
+        out = alloc.new(f"{prefix}_l{level}", blocks)
+        kernels.append(ReductionKernel(current, out, name=f"reduce{level}"))
+        current = out
+        level += 1
+    return kernels, current

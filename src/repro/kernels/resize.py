@@ -1,0 +1,85 @@
+"""Image pyramid kernels: 2x downscale (DS) and 2x upscale (US).
+
+DS builds the coarse pyramid levels of HSOpticalFlow (kernel *B* of the
+paper's motivational example is the same shape); US propagates the flow
+field to the next finer level, scaling the flow values by 2 because
+displacements double when the resolution doubles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.access import AccessKind, AccessRange
+from repro.graph.buffers import Buffer
+from repro.kernels.base import ImageKernel, row_accesses
+
+
+class DownscaleKernel(ImageKernel):
+    """2x2 box-filter downscale: out (h, w) from src (2h, 2w)."""
+
+    def __init__(self, src: Buffer, out: Buffer, block=(32, 8), name="downscale"):
+        if src.height != 2 * out.height or src.width != 2 * out.width:
+            raise ConfigurationError("downscale: src must be exactly 2x the output")
+        super().__init__(name, out, (src,), block, instrs_per_thread=32.0)
+        self.src = src
+
+    def tile_reads(self, bx: int, by: int) -> List[AccessRange]:
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        return row_accesses(
+            self.src, 2 * row0, 2 * row1, 2 * col0, 2 * col1, AccessKind.LOAD
+        )
+
+    def run_block(self, arrays: Dict[str, np.ndarray], bx: int, by: int) -> None:
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        src = arrays[self.src.name][2 * row0 : 2 * row1, 2 * col0 : 2 * col1]
+        quads = src.reshape(row1 - row0, 2, col1 - col0, 2)
+        arrays[self.out.name][row0:row1, col0:col1] = quads.mean(
+            axis=(1, 3), dtype=np.float32
+        )
+
+
+class UpscaleKernel(ImageKernel):
+    """2x nearest-neighbour upscale with value scaling.
+
+    ``out[y, x] = value_scale * src[y // 2, x // 2]``; the US nodes of
+    HSOpticalFlow use ``value_scale=2`` so that flow vectors remain
+    correct at the doubled resolution.
+    """
+
+    def __init__(
+        self,
+        src: Buffer,
+        out: Buffer,
+        value_scale: float = 2.0,
+        block=(32, 8),
+        name="upscale",
+    ):
+        if out.height != 2 * src.height or out.width != 2 * src.width:
+            raise ConfigurationError("upscale: output must be exactly 2x the source")
+        super().__init__(name, out, (src,), block, instrs_per_thread=24.0)
+        self.src = src
+        self.value_scale = float(value_scale)
+
+    def tile_reads(self, bx: int, by: int) -> List[AccessRange]:
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        return row_accesses(
+            self.src,
+            row0 // 2,
+            -(-row1 // 2),
+            col0 // 2,
+            -(-col1 // 2),
+            AccessKind.LOAD,
+        )
+
+    def run_block(self, arrays: Dict[str, np.ndarray], bx: int, by: int) -> None:
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        src = arrays[self.src.name]
+        rows = np.arange(row0, row1) // 2
+        cols = np.arange(col0, col1) // 2
+        arrays[self.out.name][row0:row1, col0:col1] = (
+            self.value_scale * src[np.ix_(rows, cols)]
+        )

@@ -1,0 +1,103 @@
+"""Hillis–Steele scan kernel (§II tiling-suitability workload).
+
+One node performs one step of the inclusive scan:
+
+    out[i] = in[i] + in[i - d]   (out[i] = in[i] for i < d)
+
+A full scan is a chain of log2(n) such kernels ping-ponging between
+two buffers (:func:`build_scan_chain`).  Like reduction, scan has low
+per-thread data locality, a large hit-rate gap, and every step consumes
+exactly what the previous step produced — the paper names it (Hillis
+Steele) among the kernels that respond well to tiling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.access import AccessKind, AccessRange
+from repro.graph.buffers import Buffer, BufferAllocator
+from repro.kernels.base import KernelSpec
+
+#: Elements processed by one 256-thread scan block.
+SCAN_CHUNK = 1024
+
+
+class ScanStepKernel(KernelSpec):
+    """One Hillis–Steele step with offset ``distance``."""
+
+    def __init__(self, src: Buffer, out: Buffer, distance: int, name=None):
+        if src.num_elements != out.num_elements:
+            raise ConfigurationError("scan: src and out must have equal size")
+        if distance < 1:
+            raise ConfigurationError("scan: distance must be >= 1")
+        blocks = -(-src.num_elements // SCAN_CHUNK)
+        super().__init__(
+            name if name is not None else f"scan_d{distance}",
+            (blocks, 1),
+            (256, 1),
+            (src,),
+            (out,),
+            instrs_per_thread=24.0,
+        )
+        self.src = src
+        self.out = out
+        self.distance = int(distance)
+
+    def _chunk(self, bx: int) -> Tuple[int, int]:
+        start = bx * SCAN_CHUNK
+        return start, min(SCAN_CHUNK, self.src.num_elements - start)
+
+    def block_accesses(self, bx: int, by: int) -> List[AccessRange]:
+        del by
+        start, count = self._chunk(bx)
+        ranges = [AccessRange(self.src, start, count, AccessKind.LOAD)]
+        # Lagged reads from [start - d, start + count - d).
+        lag_start = max(0, start - self.distance)
+        lag_end = max(0, start + count - self.distance)
+        if lag_end > lag_start:
+            ranges.append(
+                AccessRange(self.src, lag_start, lag_end - lag_start, AccessKind.LOAD)
+            )
+        ranges.append(AccessRange(self.out, start, count, AccessKind.STORE))
+        return ranges
+
+    def run_block(self, arrays: Dict[str, np.ndarray], bx: int, by: int) -> None:
+        del by
+        start, count = self._chunk(bx)
+        src = arrays[self.src.name].reshape(-1)
+        out = arrays[self.out.name].reshape(-1)
+        idx = np.arange(start, start + count)
+        lag = idx - self.distance
+        vals = src[idx].copy()
+        mask = lag >= 0
+        vals[mask] += src[lag[mask]]
+        out[idx] = vals
+
+
+def build_scan_chain(
+    alloc: BufferAllocator, src: Buffer, prefix: str = "scan"
+) -> Tuple[List[ScanStepKernel], Buffer]:
+    """Kernels computing the full inclusive scan of ``src``.
+
+    Ping-pongs between two work buffers; returns the chain and the
+    buffer holding the final scan.
+    """
+    n = src.num_elements
+    ping = alloc.new(f"{prefix}_ping", n)
+    pong = alloc.new(f"{prefix}_pong", n)
+    kernels: List[ScanStepKernel] = []
+    distance = 1
+    cur_in, cur_out = src, ping
+    step = 0
+    while distance < n:
+        kernels.append(
+            ScanStepKernel(cur_in, cur_out, distance, name=f"scan{step}")
+        )
+        cur_in, cur_out = cur_out, (pong if cur_out is ping else ping)
+        distance *= 2
+        step += 1
+    return kernels, cur_in

@@ -1,0 +1,112 @@
+"""Bitonic sort network kernels (§II tiling-suitability workload).
+
+A bitonic sort of ``n = 2**k`` elements is a sequence of
+compare-exchange passes; pass (stage, step) computes
+
+    partner = i XOR step
+    ascending = (i AND stage) == 0
+    out[i] = min/max(in[i], in[partner])
+
+Each pass is one kernel reading the whole previous array and writing a
+new one (ping-pong), so on large arrays consecutive passes form exactly
+the producer-consumer pattern KTILER accelerates — the paper lists
+"bitonic sort on large arrays" among the tiling-friendly kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.access import AccessKind, AccessRange
+from repro.graph.buffers import Buffer, BufferAllocator
+from repro.kernels.base import KernelSpec
+
+#: Elements handled by one 256-thread block.
+SORT_CHUNK = 1024
+
+
+class BitonicStepKernel(KernelSpec):
+    """One compare-exchange pass of the bitonic network."""
+
+    def __init__(self, src: Buffer, out: Buffer, stage: int, step: int, name=None):
+        if src.num_elements != out.num_elements:
+            raise ConfigurationError("bitonic: src and out must have equal size")
+        n = src.num_elements
+        if n & (n - 1):
+            raise ConfigurationError("bitonic: size must be a power of two")
+        if step < 1 or stage < 2 or stage & (stage - 1) or step & (step - 1):
+            raise ConfigurationError("bitonic: stage/step must be powers of two")
+        blocks = -(-n // SORT_CHUNK)
+        super().__init__(
+            name if name is not None else f"bitonic_s{stage}_j{step}",
+            (blocks, 1),
+            (256, 1),
+            (src,),
+            (out,),
+            instrs_per_thread=28.0,
+        )
+        self.src = src
+        self.out = out
+        self.stage = int(stage)
+        self.step = int(step)
+
+    def _chunk(self, bx: int) -> Tuple[int, int]:
+        start = bx * SORT_CHUNK
+        return start, min(SORT_CHUNK, self.src.num_elements - start)
+
+    def block_accesses(self, bx: int, by: int) -> List[AccessRange]:
+        del by
+        start, count = self._chunk(bx)
+        ranges = [AccessRange(self.src, start, count, AccessKind.LOAD)]
+        if self.step >= SORT_CHUNK:
+            # Partner chunk lives in another block's range.
+            partner = start ^ self.step
+            ranges.append(AccessRange(self.src, partner, count, AccessKind.LOAD))
+        ranges.append(AccessRange(self.out, start, count, AccessKind.STORE))
+        return ranges
+
+    def run_block(self, arrays: Dict[str, np.ndarray], bx: int, by: int) -> None:
+        del by
+        start, count = self._chunk(bx)
+        src = arrays[self.src.name].reshape(-1)
+        out = arrays[self.out.name].reshape(-1)
+        idx = np.arange(start, start + count)
+        partner = idx ^ self.step
+        mine = src[idx]
+        other = src[partner]
+        ascending = (idx & self.stage) == 0
+        take_min = (idx < partner) == ascending
+        out[idx] = np.where(take_min, np.minimum(mine, other), np.maximum(mine, other))
+
+
+def build_bitonic_network(
+    alloc: BufferAllocator, src: Buffer, prefix: str = "sort"
+) -> Tuple[List[BitonicStepKernel], Buffer]:
+    """The full bitonic sorting network for ``src`` (ascending).
+
+    Returns the pass kernels in launch order and the buffer holding the
+    sorted output.
+    """
+    n = src.num_elements
+    ping = alloc.new(f"{prefix}_ping", n)
+    pong = alloc.new(f"{prefix}_pong", n)
+    kernels: List[BitonicStepKernel] = []
+    cur_in, cur_out = src, ping
+    index = 0
+    stage = 2
+    while stage <= n:
+        step = stage // 2
+        while step >= 1:
+            kernels.append(
+                BitonicStepKernel(
+                    cur_in, cur_out, stage, step, name=f"bitonic{index}"
+                )
+            )
+            cur_in, cur_out = cur_out, (pong if cur_out is ping else ping)
+            step //= 2
+            index += 1
+        stage *= 2
+    return kernels, cur_in

@@ -1,0 +1,66 @@
+"""2D convolution stencil kernel.
+
+A convolution filter is the paper's example of a *high* data-locality
+kernel: every cold miss is followed by many hits within a block, so the
+gap between its minimum and maximum cache hit rates is small and tiling
+buys little (first tiling condition, §II).  It is included both as a
+workload for the suitability study and as a building block for
+synthetic applications.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.access import AccessKind, AccessRange
+from repro.graph.buffers import Buffer
+from repro.kernels.base import ImageKernel, row_accesses
+
+
+class ConvolveKernel(ImageKernel):
+    """Box filter of radius ``r`` (separable weights all equal)."""
+
+    def __init__(self, src: Buffer, out: Buffer, radius: int = 2, block=(32, 8)):
+        if src.shape != out.shape:
+            raise ConfigurationError("convolve: shapes must match")
+        if radius < 1:
+            raise ConfigurationError("convolve: radius must be >= 1")
+        side = 2 * radius + 1
+        super().__init__(
+            "convolve",
+            out,
+            (src,),
+            block,
+            # One MAC per filter tap per output pixel.
+            instrs_per_thread=8.0 + 2.0 * side * side,
+        )
+        self.src = src
+        self.radius = int(radius)
+
+    def tile_reads(self, bx: int, by: int) -> List[AccessRange]:
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        r = self.radius
+        return row_accesses(
+            self.src, row0 - r, row1 + r, col0 - r, col1 + r, AccessKind.LOAD
+        )
+
+    def run_block(self, arrays: Dict[str, np.ndarray], bx: int, by: int) -> None:
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        src = arrays[self.src.name]
+        h, w = src.shape
+        r = self.radius
+        ys = np.clip(np.arange(row0 - r, row1 + r), 0, h - 1)
+        xs = np.clip(np.arange(col0 - r, col1 + r), 0, w - 1)
+        region = src[np.ix_(ys, xs)].astype(np.float64)
+        th, tw = row1 - row0, col1 - col0
+        acc = np.zeros((th, tw), dtype=np.float64)
+        for dy in range(2 * r + 1):
+            for dx in range(2 * r + 1):
+                acc += region[dy : dy + th, dx : dx + tw]
+        weight = 1.0 / (2 * r + 1) ** 2
+        arrays[self.out.name][row0:row1, col0:col1] = (acc * weight).astype(
+            np.float32
+        )

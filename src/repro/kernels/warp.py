@@ -1,0 +1,87 @@
+"""Image warping kernel (the WP nodes of HSOpticalFlow).
+
+Warps the second frame backwards along the current flow estimate:
+``out[y, x] = bilinear(src, x + u[y, x], y + v[y, x])``.
+
+Warping is the canonical *input-dependent* access pattern — which
+source pixels a block reads depends on the flow values.  The paper's
+third tiling condition therefore excludes it from tiling (its input
+edge weights are set to zero).  To keep the traced pattern
+input-independent, the kernel declares a conservative read halo of
+``max_displacement`` pixels around its tile and clamps the sampled
+displacement to that halo; this is a documented kernel contract (see
+DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.access import AccessKind, AccessRange
+from repro.graph.buffers import Buffer
+from repro.kernels.base import ImageKernel, row_accesses
+
+
+class WarpKernel(ImageKernel):
+    """Backward bilinear warp of ``src`` by the flow field ``(u, v)``."""
+
+    #: Kernels with input-dependent access patterns are non-tileable
+    #: (paper §II, third condition); app builders read this attribute.
+    input_dependent = True
+
+    def __init__(
+        self,
+        src: Buffer,
+        u: Buffer,
+        v: Buffer,
+        out: Buffer,
+        max_displacement: int = 4,
+        block=(32, 8),
+    ):
+        for buf in (src, u, v):
+            if buf.shape != out.shape:
+                raise ConfigurationError("warp: all operands must share a shape")
+        if max_displacement < 1:
+            raise ConfigurationError("warp: max_displacement must be >= 1")
+        super().__init__("warp", out, (src, u, v), block, instrs_per_thread=72.0)
+        self.src = src
+        self.u = u
+        self.v = v
+        self.max_displacement = int(max_displacement)
+
+    def tile_reads(self, bx: int, by: int) -> List[AccessRange]:
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        halo = self.max_displacement + 1  # +1 for the bilinear neighbour
+        ranges = row_accesses(
+            self.src,
+            row0 - halo,
+            row1 + halo,
+            col0 - halo,
+            col1 + halo,
+            AccessKind.LOAD,
+        )
+        ranges += row_accesses(self.u, row0, row1, col0, col1, AccessKind.LOAD)
+        ranges += row_accesses(self.v, row0, row1, col0, col1, AccessKind.LOAD)
+        return ranges
+
+    def run_block(self, arrays: Dict[str, np.ndarray], bx: int, by: int) -> None:
+        row0, row1, col0, col1 = self.tile_bounds(bx, by)
+        src = arrays[self.src.name]
+        disp = float(self.max_displacement)
+        u = np.clip(arrays[self.u.name][row0:row1, col0:col1], -disp, disp)
+        v = np.clip(arrays[self.v.name][row0:row1, col0:col1], -disp, disp)
+        ys, xs = np.mgrid[row0:row1, col0:col1]
+        sample_x = np.clip(xs + u, 0.0, src.shape[1] - 1.0)
+        sample_y = np.clip(ys + v, 0.0, src.shape[0] - 1.0)
+        x0 = np.floor(sample_x).astype(np.int64)
+        y0 = np.floor(sample_y).astype(np.int64)
+        x1 = np.minimum(x0 + 1, src.shape[1] - 1)
+        y1 = np.minimum(y0 + 1, src.shape[0] - 1)
+        fx = (sample_x - x0).astype(np.float32)
+        fy = (sample_y - y0).astype(np.float32)
+        top = src[y0, x0] * (1 - fx) + src[y0, x1] * fx
+        bot = src[y1, x0] * (1 - fx) + src[y1, x1] * fx
+        arrays[self.out.name][row0:row1, col0:col1] = top * (1 - fy) + bot * fy

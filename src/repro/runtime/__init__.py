@@ -1,0 +1,42 @@
+"""Runtime: execute schedules on the simulator and on numpy data."""
+
+from repro.runtime.functional import (
+    compare_runs,
+    graph_buffers,
+    make_arrays,
+    run_default_functional,
+    run_functional,
+    schedules_equivalent,
+)
+from repro.runtime.launcher import (
+    RunMeasurement,
+    ScheduleTallies,
+    execute_schedule,
+    measure_at,
+    tally_schedule,
+)
+from repro.runtime.report import (
+    ComparisonReport,
+    ComparisonRow,
+    compare_default_vs_ktiler,
+)
+from repro.runtime.streams import StreamedMeasurement, measure_with_streams
+
+__all__ = [
+    "execute_schedule",
+    "tally_schedule",
+    "measure_at",
+    "RunMeasurement",
+    "ScheduleTallies",
+    "run_functional",
+    "run_default_functional",
+    "make_arrays",
+    "graph_buffers",
+    "compare_runs",
+    "schedules_equivalent",
+    "ComparisonReport",
+    "ComparisonRow",
+    "compare_default_vs_ktiler",
+    "measure_with_streams",
+    "StreamedMeasurement",
+]

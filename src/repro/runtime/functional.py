@@ -1,0 +1,118 @@
+"""Functional execution of schedules on numpy data.
+
+KTILER claims functional transparency: the tiled schedule computes
+exactly what the default schedule computes, because every block-level
+dependency is respected.  This module makes that claim testable — it
+runs a schedule's sub-kernels *functionally* (each block's numpy body,
+in schedule order) and compares buffer contents against the default
+execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.errors import SimulationError
+from repro.graph.buffers import Buffer
+from repro.graph.kernel_graph import KernelGraph
+
+
+def graph_buffers(graph: KernelGraph) -> List[Buffer]:
+    """All distinct buffers referenced by a graph, in first-use order."""
+    seen: Dict[str, Buffer] = {}
+    for node in graph:
+        for buf in (*node.kernel.inputs, *node.kernel.outputs):
+            if buf.name not in seen:
+                seen[buf.name] = buf
+    return list(seen.values())
+
+
+def make_arrays(
+    graph: KernelGraph,
+    host_inputs: Optional[Dict[str, np.ndarray]] = None,
+) -> Dict[str, np.ndarray]:
+    """Zeroed arrays for every buffer, plus staged host payloads.
+
+    ``host_inputs`` entries named after a device buffer are staged
+    under ``<name>__host`` — the convention the HtD pseudo-kernels use
+    (see :mod:`repro.kernels.copy`); entries named ``<name>__host``
+    are stored verbatim.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    for buf in graph_buffers(graph):
+        arrays[buf.name] = buf.make_array()
+    if host_inputs:
+        for name, payload in host_inputs.items():
+            staged = name if name.endswith("__host") else f"{name}__host"
+            base = staged[: -len("__host")]
+            if base not in arrays:
+                raise SimulationError(f"host input for unknown buffer '{base}'")
+            if payload.size != arrays[base].size:
+                raise SimulationError(
+                    f"host input '{base}': size {payload.size} != buffer "
+                    f"size {arrays[base].size}"
+                )
+            arrays[staged] = np.ascontiguousarray(
+                payload, dtype=arrays[base].dtype
+            ).reshape(arrays[base].shape)
+    return arrays
+
+
+def run_functional(
+    schedule: Schedule,
+    graph: KernelGraph,
+    arrays: Dict[str, np.ndarray],
+) -> Dict[str, np.ndarray]:
+    """Run a schedule's sub-kernels on ``arrays`` in place."""
+    for sub in schedule:
+        node = graph.node(sub.node_id)
+        node.kernel.run_blocks(arrays, sub.blocks)
+    return arrays
+
+
+def run_default_functional(
+    graph: KernelGraph,
+    host_inputs: Optional[Dict[str, np.ndarray]] = None,
+) -> Dict[str, np.ndarray]:
+    """Run the default (one-launch-per-kernel) schedule from scratch."""
+    arrays = make_arrays(graph, host_inputs)
+    return run_functional(Schedule.default(graph), graph, arrays)
+
+
+def compare_runs(
+    reference: Dict[str, np.ndarray],
+    candidate: Dict[str, np.ndarray],
+    buffers: Optional[Iterable[str]] = None,
+    atol: float = 1e-5,
+    rtol: float = 1e-5,
+) -> List[str]:
+    """Names of buffers whose contents differ beyond tolerance."""
+    names = list(buffers) if buffers is not None else sorted(reference)
+    mismatched: List[str] = []
+    for name in names:
+        if name not in candidate:
+            mismatched.append(name)
+            continue
+        if not np.allclose(reference[name], candidate[name], atol=atol, rtol=rtol):
+            mismatched.append(name)
+    return mismatched
+
+
+def schedules_equivalent(
+    graph: KernelGraph,
+    schedule: Schedule,
+    host_inputs: Optional[Dict[str, np.ndarray]] = None,
+    atol: float = 1e-5,
+    rtol: float = 1e-5,
+) -> Tuple[bool, List[str]]:
+    """Does ``schedule`` compute what the default schedule computes?
+
+    Returns (equivalent, mismatched buffer names).
+    """
+    reference = run_default_functional(graph, host_inputs)
+    candidate = run_functional(schedule, graph, make_arrays(graph, host_inputs))
+    mismatched = compare_runs(reference, candidate, atol=atol, rtol=rtol)
+    return (not mismatched, mismatched)

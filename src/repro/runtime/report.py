@@ -1,0 +1,115 @@
+"""Default-vs-KTILER comparison reports (the Figure 5 harness).
+
+For each DVFS operating point, measure the application in the paper's
+three modes:
+
+* **default** — one launch per kernel, topological order;
+* **KTILER** — the tiled schedule, inter-launch gap included;
+* **KTILER w/o IG** — the same run with the gaps excluded.
+
+Cache replays are memoized by schedule content, so operating points
+that produce the same schedule only pay the replay once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.ktiler import KTiler
+from repro.core.schedule import Schedule
+from repro.gpusim.freq import FrequencyConfig
+from repro.runtime.launcher import ScheduleTallies, measure_at, tally_schedule
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One operating point of the Figure 5 experiment."""
+
+    freq: FrequencyConfig
+    default_total_us: float
+    default_busy_us: float
+    ktiler_total_us: float
+    ktiler_busy_us: float
+    default_launches: int
+    ktiler_launches: int
+    default_hit_rate: float
+    ktiler_hit_rate: float
+
+    @property
+    def gain_with_ig(self) -> float:
+        """Fractional improvement of KTILER incl. gaps over default."""
+        return 1.0 - self.ktiler_total_us / self.default_total_us
+
+    @property
+    def gain_without_ig(self) -> float:
+        """Fractional improvement with the inter-launch gaps excluded."""
+        return 1.0 - self.ktiler_busy_us / self.default_busy_us
+
+    def format_row(self) -> str:
+        return (
+            f"{self.freq.label:>12}  default={self.default_total_us / 1e3:8.2f}ms  "
+            f"ktiler={self.ktiler_total_us / 1e3:8.2f}ms ({self.gain_with_ig * 100:+5.1f}%)  "
+            f"w/o IG={self.ktiler_busy_us / 1e3:8.2f}ms ({self.gain_without_ig * 100:+5.1f}%)"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    rows: List[ComparisonRow]
+
+    @property
+    def mean_gain_with_ig(self) -> float:
+        return sum(r.gain_with_ig for r in self.rows) / len(self.rows)
+
+    @property
+    def mean_gain_without_ig(self) -> float:
+        return sum(r.gain_without_ig for r in self.rows) / len(self.rows)
+
+    def format_table(self) -> str:
+        lines = [row.format_row() for row in self.rows]
+        lines.append(
+            f"{'average':>12}  gain with IG: {self.mean_gain_with_ig * 100:+5.1f}%  "
+            f"gain w/o IG: {self.mean_gain_without_ig * 100:+5.1f}%"
+        )
+        return "\n".join(lines)
+
+
+def _schedule_signature(schedule: Schedule) -> Tuple:
+    return tuple((sub.node_id, sub.blocks) for sub in schedule)
+
+
+def compare_default_vs_ktiler(
+    ktiler: KTiler,
+    freqs: Sequence[FrequencyConfig],
+    launch_gap_us: Optional[float] = None,
+) -> ComparisonReport:
+    """Run the Figure 5 experiment over the given operating points."""
+    graph = ktiler.graph
+    spec = ktiler.spec
+    default_replay = tally_schedule(ktiler.default_schedule(), graph, spec)
+    replay_cache: Dict[Tuple, ScheduleTallies] = {}
+    rows: List[ComparisonRow] = []
+    for freq in freqs:
+        plan = ktiler.plan(freq)
+        signature = _schedule_signature(plan.schedule)
+        replay = replay_cache.get(signature)
+        if replay is None:
+            replay = tally_schedule(plan.schedule, graph, spec)
+            replay_cache[signature] = replay
+        default_run = measure_at(default_replay, spec, freq, launch_gap_us)
+        ktiler_run = measure_at(replay, spec, freq, launch_gap_us)
+        rows.append(
+            ComparisonRow(
+                freq=freq,
+                default_total_us=default_run.total_us,
+                default_busy_us=default_run.busy_us,
+                ktiler_total_us=ktiler_run.total_us,
+                ktiler_busy_us=ktiler_run.busy_us,
+                default_launches=default_run.num_launches,
+                ktiler_launches=ktiler_run.num_launches,
+                default_hit_rate=default_run.hit_rate,
+                ktiler_hit_rate=ktiler_run.hit_rate,
+            )
+        )
+    return ComparisonReport(rows=rows)

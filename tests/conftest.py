@@ -1,0 +1,63 @@
+"""Shared fixtures for the KTILER reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    build_diamond,
+    build_jacobi_pingpong,
+    build_pipeline,
+    build_scale_chain,
+)
+from repro.gpusim import GpuSimulator, GpuSpec
+from repro.graph.buffers import BufferAllocator
+
+
+@pytest.fixture
+def spec() -> GpuSpec:
+    """The default device (GTX 960M)."""
+    return GpuSpec()
+
+
+@pytest.fixture
+def small_spec() -> GpuSpec:
+    """A device with a tiny L2 so cache effects appear at test scale."""
+    return GpuSpec(l2_bytes=64 * 1024, launch_gap_us=1.0)
+
+
+@pytest.fixture
+def sim(spec) -> GpuSimulator:
+    return GpuSimulator(spec)
+
+
+@pytest.fixture
+def alloc() -> BufferAllocator:
+    return BufferAllocator()
+
+
+@pytest.fixture
+def pipeline_app():
+    """The Figure 1 two-kernel pipeline at the paper's 256x256 size."""
+    return build_pipeline(size=256)
+
+
+@pytest.fixture
+def chain_app():
+    return build_scale_chain(length=3, size=64)
+
+
+@pytest.fixture
+def diamond_app():
+    return build_diamond(size=64)
+
+
+@pytest.fixture
+def jacobi_app():
+    return build_jacobi_pingpong(iters=4, size=64)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

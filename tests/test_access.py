@@ -1,0 +1,121 @@
+"""Unit tests for access modelling: ranges, line streams, line sets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim.access import (
+    AccessKind,
+    AccessRange,
+    MemorySpace,
+    footprint_bytes,
+    line_sets,
+    line_stream,
+)
+from repro.graph.buffers import Buffer, BufferAllocator
+
+LINE_SHIFT = 7  # 128-byte lines
+
+
+@pytest.fixture
+def buf():
+    alloc = BufferAllocator(128)
+    return alloc.new("data", 1024, itemsize=4)
+
+
+class TestAccessKind:
+    def test_load(self):
+        assert AccessKind.LOAD.reads and not AccessKind.LOAD.writes
+
+    def test_store(self):
+        assert AccessKind.STORE.writes and not AccessKind.STORE.reads
+
+    def test_atomic_reads_and_writes(self):
+        assert AccessKind.ATOMIC.reads and AccessKind.ATOMIC.writes
+
+
+class TestMemorySpace:
+    def test_l2_visibility(self):
+        assert MemorySpace.GLOBAL.cached_in_l2
+        assert MemorySpace.TEXTURE.cached_in_l2
+        assert not MemorySpace.SHARED.cached_in_l2
+        assert not MemorySpace.CONSTANT.cached_in_l2
+
+
+class TestAccessRange:
+    def test_bounds_checked(self, buf):
+        with pytest.raises(ConfigurationError):
+            AccessRange(buf, 1000, 100)
+        with pytest.raises(ConfigurationError):
+            AccessRange(buf, -1, 4)
+
+    def test_nbytes(self, buf):
+        rng = AccessRange(buf, 0, 32)
+        assert rng.nbytes == 128
+
+    def test_lines_aligned(self, buf):
+        # Elements 0..31 are exactly one 128B line.
+        rng = AccessRange(buf, 0, 32)
+        assert len(rng.lines(LINE_SHIFT)) == 1
+
+    def test_lines_straddle(self, buf):
+        # Elements 16..47 straddle two lines.
+        rng = AccessRange(buf, 16, 32)
+        assert len(rng.lines(LINE_SHIFT)) == 2
+
+    def test_empty_range_has_no_lines(self, buf):
+        rng = AccessRange(buf, 10, 0)
+        assert len(rng.lines(LINE_SHIFT)) == 0
+
+    def test_line_ids_reflect_base_address(self, buf):
+        rng = AccessRange(buf, 0, 1)
+        assert list(rng.lines(LINE_SHIFT))[0] == buf.base_address >> LINE_SHIFT
+
+
+class TestLineStream:
+    def test_reads_and_writes_ordered(self, buf):
+        ranges = [
+            AccessRange(buf, 0, 32, AccessKind.LOAD),
+            AccessRange(buf, 32, 32, AccessKind.STORE),
+        ]
+        stream = line_stream(ranges, LINE_SHIFT)
+        assert len(stream) == 2
+        assert stream[0][1] is False  # load
+        assert stream[1][1] is True  # store
+
+    def test_shared_memory_excluded(self, buf):
+        ranges = [AccessRange(buf, 0, 32, AccessKind.LOAD, MemorySpace.SHARED)]
+        assert line_stream(ranges, LINE_SHIFT) == []
+
+    def test_atomic_is_write(self, buf):
+        ranges = [AccessRange(buf, 0, 32, AccessKind.ATOMIC)]
+        assert line_stream(ranges, LINE_SHIFT)[0][1] is True
+
+
+class TestLineSets:
+    def test_partition_by_kind(self, buf):
+        ranges = [
+            AccessRange(buf, 0, 32, AccessKind.LOAD),
+            AccessRange(buf, 64, 32, AccessKind.STORE),
+        ]
+        reads, writes = line_sets(ranges, LINE_SHIFT)
+        assert len(reads) == 1 and len(writes) == 1
+        assert reads.isdisjoint(writes)
+
+    def test_atomic_in_both(self, buf):
+        reads, writes = line_sets(
+            [AccessRange(buf, 0, 32, AccessKind.ATOMIC)], LINE_SHIFT
+        )
+        assert reads == writes and len(reads) == 1
+
+    def test_overlapping_ranges_dedupe(self, buf):
+        ranges = [
+            AccessRange(buf, 0, 32, AccessKind.LOAD),
+            AccessRange(buf, 0, 32, AccessKind.LOAD),
+        ]
+        reads, _ = line_sets(ranges, LINE_SHIFT)
+        assert len(reads) == 1
+
+
+def test_footprint_bytes():
+    assert footprint_bytes({1, 2, 3}, 128) == 384
+    assert footprint_bytes([1, 1, 2], 128) == 256

@@ -1,0 +1,155 @@
+"""Tests for the application builders (Figures 1 and 4, synthetics)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    build_diamond,
+    build_hsopticalflow,
+    build_jacobi_pingpong,
+    build_pipeline,
+    build_scale_chain,
+    build_stencil_chain,
+    horn_schunck_reference,
+)
+from repro.core.schedule import Schedule
+from repro.errors import ConfigurationError
+from repro.runtime import run_default_functional
+
+
+class TestPipelineApp:
+    def test_matches_paper_geometry(self):
+        app = build_pipeline(size=256)
+        a = app.graph.node_by_name("A.grayscale")
+        # The paper's A<<<(8x32),(32x8)>>>.
+        assert a.kernel.grid == (8, 32)
+        assert a.kernel.block == (32, 8)
+
+    def test_without_copies(self):
+        app = build_pipeline(size=128, with_copies=False)
+        assert len(app.graph) == 2
+
+    def test_copy_nodes_not_tileable(self):
+        app = build_pipeline(size=128)
+        assert not app.graph.node_by_name("HtD.rgba").tileable
+        assert not app.graph.node_by_name("DtH.half").tileable
+
+    def test_host_inputs_shape(self):
+        app = build_pipeline(size=128)
+        payload = app.host_inputs()
+        assert payload["rgba"].shape == (128, 512)
+
+
+class TestOpticalFlowStructure:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return build_hsopticalflow(frame_size=128, levels=3, jacobi_iters=10)
+
+    def test_figure4_node_census(self, app):
+        """Node counts follow the Figure 4 structure.
+
+        With L levels and N Jacobi iterations: 2 HtD, 2(L-1) DS, L WP,
+        L DV, L*N JI, 2L AD, 2(L-1) US, 2 DtH, and 2 + 2L memsets.
+        """
+        hist = app.graph.kernel_name_histogram()
+        levels, n = 3, 10
+        assert hist["HtD"] == 2
+        assert hist["downscale"] == 2 * (levels - 1)
+        assert hist["warp"] == levels
+        assert hist["derivatives"] == levels
+        ji_total = sum(v for k, v in hist.items() if k.startswith("jacobi"))
+        assert ji_total == levels * n
+        assert hist["add"] == 2 * levels
+        assert hist["upscale"] == 2 * (levels - 1)
+        assert hist["DtH"] == 2
+        assert hist["memset"] == 2 + 2 * levels
+
+    def test_paper_scale_node_count(self):
+        """The paper's configuration yields 'over a thousand kernels'."""
+        app = build_hsopticalflow(frame_size=1024, levels=3, jacobi_iters=500)
+        assert len(app.graph) == 1532
+        assert app.jacobi_node_fraction > 0.97
+
+    def test_jacobi_specs_shared(self, app):
+        """All JI nodes of one level share two kernel specs (ping-pong)."""
+        nodes = [n for n in app.graph if n.name.startswith("JI.l2")]
+        specs = {id(n.kernel) for n in nodes}
+        assert len(specs) == 2
+
+    def test_graph_is_valid(self, app):
+        app.graph.validate()
+
+    def test_level_sizes_halve(self, app):
+        assert app.graph.node_by_name("WP.l0").kernel.out.shape == (128, 128)
+        assert app.graph.node_by_name("WP.l1").kernel.out.shape == (64, 64)
+        assert app.graph.node_by_name("WP.l2").kernel.out.shape == (32, 32)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_hsopticalflow(frame_size=50, levels=3)
+        with pytest.raises(ConfigurationError):
+            build_hsopticalflow(frame_size=128, levels=0)
+        with pytest.raises(ConfigurationError):
+            build_hsopticalflow(frame_size=128, jacobi_iters=0)
+
+
+class TestOpticalFlowFunctional:
+    @pytest.mark.parametrize("levels,iters", [(1, 4), (2, 3), (3, 6)])
+    def test_blockwise_matches_vectorized_reference(self, levels, iters):
+        app = build_hsopticalflow(
+            frame_size=64, levels=levels, jacobi_iters=iters
+        )
+        payload = app.host_inputs()
+        arrays = run_default_functional(app.graph, payload)
+        u_ref, v_ref = horn_schunck_reference(
+            payload["f0.l0"], payload["f1.l0"], levels, iters,
+            app.alpha, app.max_displacement,
+        )
+        np.testing.assert_allclose(arrays[app.flow_u.name], u_ref, atol=1e-4)
+        np.testing.assert_allclose(arrays[app.flow_v.name], v_ref, atol=1e-4)
+
+    def test_flow_recovers_known_translation(self):
+        """A 2px x-shift produces a predominantly positive u field."""
+        app = build_hsopticalflow(frame_size=64, levels=2, jacobi_iters=40)
+        payload = app.host_inputs()  # shifted by (+2, +1)
+        arrays = run_default_functional(app.graph, payload)
+        u = arrays[app.flow_u.name]
+        # Horn-Schunck under-estimates but the sign/direction must hold
+        # over the interior.
+        assert np.median(u[8:-8, 8:-8]) > 0.2
+
+    def test_dth_copies_flow_to_host(self):
+        app = build_hsopticalflow(frame_size=64, levels=1, jacobi_iters=2)
+        arrays = run_default_functional(app.graph, app.host_inputs())
+        np.testing.assert_array_equal(
+            arrays[f"{app.flow_u.name}__host"], arrays[app.flow_u.name]
+        )
+
+
+class TestSynthetics:
+    def test_scale_chain_functional(self):
+        app = build_scale_chain(length=5, size=64)
+        arrays = run_default_functional(app.graph)
+        np.testing.assert_allclose(arrays[app.output_buffer.name], 32.0)
+
+    def test_diamond_shape(self):
+        app = build_diamond(size=64)
+        assert len(app.graph) == 4
+        assert len(app.graph.data_edges()) == 4
+
+    def test_jacobi_pingpong_parity(self):
+        app = build_jacobi_pingpong(iters=5, size=64)
+        assert app.output_buffer.name == "du1"
+        app2 = build_jacobi_pingpong(iters=4, size=64)
+        assert app2.output_buffer.name == "du0"
+
+    def test_stencil_chain_functional(self):
+        app = build_stencil_chain(length=2, size=64, radius=1)
+        arrays = run_default_functional(app.graph)
+        np.testing.assert_allclose(arrays[app.output_buffer.name], 1.0, rtol=1e-5)
+
+    def test_builders_validate_params(self):
+        with pytest.raises(ConfigurationError):
+            build_scale_chain(length=0)
+        with pytest.raises(ConfigurationError):
+            build_jacobi_pingpong(iters=0)

@@ -1,0 +1,107 @@
+"""Tests for the baseline schedulers (merge-all and the exhaustive oracle)."""
+
+import pytest
+
+from repro.apps import build_jacobi_pingpong, build_pipeline, build_scale_chain
+from repro.core import KTiler, KTilerConfig
+from repro.core.schedule import Schedule
+from repro.errors import TilingError
+from repro.gpusim import NOMINAL, GpuSpec
+from repro.runtime import measure_at, schedules_equivalent, tally_schedule
+
+
+@pytest.fixture(scope="module")
+def chain_setup():
+    """A 4-kernel scale chain at 512x512 against a 512 KB L2."""
+    app = build_scale_chain(length=4, size=512)
+    spec = GpuSpec(l2_bytes=512 * 1024, launch_gap_us=1.0)
+    ktiler = KTiler(app.graph, spec=spec,
+                    config=KTilerConfig(launch_overhead_us=1.0))
+    return app, ktiler
+
+
+class TestMergeAll:
+    def test_produces_valid_schedule(self, chain_setup):
+        app, ktiler = chain_setup
+        result = ktiler.plan_merge_all(NOMINAL)
+        result.schedule.validate(app.graph, ktiler.block_graph)
+
+    def test_functionally_equivalent(self, chain_setup):
+        app, ktiler = chain_setup
+        result = ktiler.plan_merge_all(NOMINAL)
+        ok, mismatched = schedules_equivalent(
+            app.graph, result.schedule, app.host_inputs()
+        )
+        assert ok, mismatched
+
+    def test_merges_at_least_as_much_as_ktiler(self, chain_setup):
+        _, ktiler = chain_setup
+        greedy = ktiler.plan_merge_all(NOMINAL)
+        heuristic = ktiler.plan(NOMINAL)
+        assert greedy.stats.adopted_merges >= heuristic.stats.adopted_merges
+
+    def test_cost_model_matters_under_large_gap(self):
+        """With an expensive gap, merge-all over-splits; KTILER does not."""
+        app = build_jacobi_pingpong(iters=4, size=256)
+        spec = GpuSpec(l2_bytes=512 * 1024)
+        gap = 20.0
+        ktiler = KTiler(app.graph, spec=spec,
+                        config=KTilerConfig(launch_overhead_us=gap))
+        greedy = ktiler.plan_merge_all(NOMINAL)
+        heuristic = ktiler.plan(NOMINAL)
+        graph = app.graph
+        default_run = measure_at(
+            tally_schedule(Schedule.default(graph), graph, spec),
+            spec, NOMINAL, gap,
+        )
+        greedy_run = measure_at(
+            tally_schedule(greedy.schedule, graph, spec), spec, NOMINAL, gap
+        )
+        heuristic_run = measure_at(
+            tally_schedule(heuristic.schedule, graph, spec), spec, NOMINAL, gap
+        )
+        # KTILER prices the gap in and never regresses...
+        assert heuristic_run.total_us <= default_run.total_us * 1.001
+        # ...while the cost-blind greedy pays for every extra launch.
+        assert greedy_run.total_us > heuristic_run.total_us
+
+
+class TestExhaustive:
+    def test_oracle_not_beaten_by_heuristic(self, chain_setup):
+        _, ktiler = chain_setup
+        oracle = ktiler.plan_exhaustive(NOMINAL)
+        heuristic = ktiler.plan(NOMINAL)
+        assert oracle.estimated_cost_us <= heuristic.estimated_cost_us + 1e-6
+
+    def test_heuristic_is_near_optimal_on_chain(self, chain_setup):
+        """Algorithm 1 lands within 10% of the oracle on the chain."""
+        _, ktiler = chain_setup
+        oracle = ktiler.plan_exhaustive(NOMINAL)
+        heuristic = ktiler.plan(NOMINAL)
+        assert heuristic.estimated_cost_us <= 1.10 * oracle.estimated_cost_us
+
+    def test_oracle_schedule_valid_and_equivalent(self, chain_setup):
+        app, ktiler = chain_setup
+        oracle = ktiler.plan_exhaustive(NOMINAL)
+        ok, mismatched = schedules_equivalent(
+            app.graph, oracle.schedule, app.host_inputs()
+        )
+        assert ok, mismatched
+
+    def test_too_many_edges_rejected(self):
+        app = build_jacobi_pingpong(iters=10, size=64)
+        ktiler = KTiler(app.graph, spec=GpuSpec(l2_bytes=64 * 1024))
+        with pytest.raises(TilingError):
+            ktiler.plan_exhaustive(NOMINAL, max_edges=3)
+
+    def test_oracle_on_diamond(self):
+        from repro.apps import build_diamond
+
+        app = build_diamond(size=512)
+        spec = GpuSpec(l2_bytes=256 * 1024, launch_gap_us=1.0)
+        ktiler = KTiler(app.graph, spec=spec,
+                        config=KTilerConfig(launch_overhead_us=1.0))
+        oracle = ktiler.plan_exhaustive(NOMINAL)
+        heuristic = ktiler.plan(NOMINAL)
+        assert oracle.estimated_cost_us <= heuristic.estimated_cost_us + 1e-6
+        oracle.schedule.validate(app.graph, ktiler.block_graph)

@@ -1,0 +1,120 @@
+"""Unit tests for the block dependency graph container."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.block_graph import BlockDependencyGraph
+
+
+@pytest.fixture
+def chain_graph():
+    """Two nodes: node 1's block b depends on node 0's blocks b and b+1."""
+    g = BlockDependencyGraph()
+    for bid in range(4):
+        g.add_block((0, bid), ())
+    for bid in range(3):
+        g.add_block((1, bid), [(0, bid), (0, bid + 1)])
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_block_rejected(self):
+        g = BlockDependencyGraph()
+        g.add_block((0, 0), ())
+        with pytest.raises(GraphError):
+            g.add_block((0, 0), ())
+
+    def test_unknown_producer_rejected(self):
+        g = BlockDependencyGraph()
+        with pytest.raises(GraphError):
+            g.add_block((1, 0), [(0, 0)])
+
+    def test_intra_kernel_dependency_rejected(self):
+        g = BlockDependencyGraph()
+        g.add_block((0, 0), ())
+        with pytest.raises(GraphError):
+            g.add_block((0, 1), [(0, 0)])
+
+    def test_anti_deps_exclude_raw_duplicates(self):
+        g = BlockDependencyGraph()
+        g.add_block((0, 0), ())
+        g.add_block((1, 0), [(0, 0)], anti_producers=[(0, 0)])
+        assert g.anti_producers((1, 0)) == ()
+        assert g.producers((1, 0)) == ((0, 0),)
+
+
+class TestQueries:
+    def test_producers_consumers_inverse(self, chain_graph):
+        for key in chain_graph:
+            for prod in chain_graph.producers(key):
+                assert key in chain_graph.consumers(prod)
+
+    def test_unknown_block_raises(self, chain_graph):
+        with pytest.raises(GraphError):
+            chain_graph.producers((9, 9))
+
+    def test_blocks_of_node(self, chain_graph):
+        assert chain_graph.blocks_of_node(0) == [0, 1, 2, 3]
+        assert chain_graph.blocks_of_node(1) == [0, 1, 2]
+
+    def test_num_dependencies(self, chain_graph):
+        assert chain_graph.num_dependencies() == 6
+
+    def test_contains_len_iter(self, chain_graph):
+        assert (0, 0) in chain_graph
+        assert (5, 0) not in chain_graph
+        assert len(chain_graph) == 7
+        assert len(list(chain_graph)) == 7
+
+
+class TestTransitive:
+    @pytest.fixture
+    def deep_graph(self):
+        """Three-level chain: (2,b) <- (1,b),(1,b+1) <- (0,*)."""
+        g = BlockDependencyGraph()
+        for bid in range(5):
+            g.add_block((0, bid), ())
+        for bid in range(4):
+            g.add_block((1, bid), [(0, bid), (0, bid + 1)])
+        for bid in range(3):
+            g.add_block((2, bid), [(1, bid), (1, bid + 1)])
+        return g
+
+    def test_transitive_producers(self, deep_graph):
+        deps = deep_graph.transitive_producers([(2, 0)])
+        assert (1, 0) in deps and (1, 1) in deps
+        assert {(0, 0), (0, 1), (0, 2)} <= deps
+        assert (2, 0) not in deps  # seed excluded
+        assert (0, 3) not in deps
+
+    def test_restricted_to_nodes(self, deep_graph):
+        deps = deep_graph.transitive_producers([(2, 0)], within_nodes={1, 2})
+        assert all(key[0] == 1 for key in deps)
+        # Node-0 deps are neither returned nor traversed.
+        assert len(deps) == 2
+
+    def test_dependencies_satisfied(self, deep_graph):
+        done = {(1, 0), (1, 1)}
+        assert deep_graph.dependencies_satisfied((2, 0), done)
+        assert not deep_graph.dependencies_satisfied((2, 1), done)
+
+    def test_dependencies_satisfied_with_restriction(self, deep_graph):
+        # Restricting to node 2 only: all of (2,b)'s deps are outside.
+        assert deep_graph.dependencies_satisfied(
+            (2, 0), set(), within_nodes={2}
+        )
+
+    def test_anti_producers_respected(self):
+        g = BlockDependencyGraph()
+        g.add_block((0, 0), ())
+        g.add_block((1, 0), [(0, 0)])
+        g.add_block((2, 0), (), anti_producers=[(1, 0)])
+        assert not g.dependencies_satisfied((2, 0), {(0, 0)})
+        assert g.dependencies_satisfied((2, 0), {(0, 0)}, include_anti=False)
+        deps = g.transitive_producers([(2, 0)])
+        assert deps == {(1, 0), (0, 0)}
+
+    def test_summary(self, deep_graph):
+        text = deep_graph.summary()
+        assert "12 blocks" in text
+        assert "3 nodes" in text

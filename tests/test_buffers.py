@@ -1,0 +1,103 @@
+"""Unit tests for device buffers and the address-space allocator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.buffers import Buffer, BufferAllocator
+
+
+class TestBuffer:
+    def test_basic_properties(self):
+        buf = Buffer("x", 100, itemsize=4)
+        assert buf.nbytes == 400
+        assert not buf.allocated
+
+    def test_shape_must_match(self):
+        with pytest.raises(ConfigurationError):
+            Buffer("x", 100, shape=(10, 11))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Buffer("x", 0)
+
+    def test_2d_accessors(self):
+        buf = Buffer("img", 12, shape=(3, 4))
+        assert (buf.height, buf.width) == (3, 4)
+        assert buf.element_offset(1, 2) == 6
+
+    def test_element_offset_bounds(self):
+        buf = Buffer("img", 12, shape=(3, 4))
+        with pytest.raises(ConfigurationError):
+            buf.element_offset(3, 0)
+        with pytest.raises(ConfigurationError):
+            buf.element_offset(0, -1)
+
+    def test_1d_buffer_has_no_height(self):
+        with pytest.raises(ConfigurationError):
+            Buffer("x", 10).height
+
+    def test_lines_requires_allocation(self):
+        with pytest.raises(ConfigurationError):
+            Buffer("x", 10).lines(7)
+
+    def test_make_array(self):
+        buf = Buffer("img", 12, shape=(3, 4))
+        arr = buf.make_array()
+        assert arr.shape == (3, 4)
+        assert arr.dtype == np.float32
+        assert not arr.any()
+
+    def test_make_array_checks_itemsize(self):
+        with pytest.raises(ConfigurationError):
+            Buffer("x", 4, itemsize=4).make_array(np.float64)
+
+
+class TestAllocator:
+    def test_line_alignment(self):
+        alloc = BufferAllocator(128)
+        a = alloc.new("a", 3)  # 12 bytes -> next alloc still aligned
+        b = alloc.new("b", 3)
+        assert a.base_address % 128 == 0
+        assert b.base_address % 128 == 0
+
+    def test_no_overlap_and_no_shared_lines(self):
+        alloc = BufferAllocator(128)
+        buffers = [alloc.new(f"b{i}", 100 + i) for i in range(10)]
+        all_lines = set()
+        for buf in buffers:
+            lines = set(buf.lines(7))
+            assert not (all_lines & lines), f"buffer {buf.name} shares a line"
+            all_lines |= lines
+
+    def test_duplicate_name_rejected(self):
+        alloc = BufferAllocator()
+        alloc.new("a", 4)
+        with pytest.raises(ConfigurationError):
+            alloc.new("a", 4)
+
+    def test_get_and_contains(self):
+        alloc = BufferAllocator()
+        buf = alloc.new("a", 4)
+        assert alloc.get("a") is buf
+        assert "a" in alloc and "b" not in alloc
+        with pytest.raises(ConfigurationError):
+            alloc.get("b")
+
+    def test_new_image(self):
+        alloc = BufferAllocator()
+        img = alloc.new_image("img", 16, 32)
+        assert img.shape == (16, 32)
+        assert img.num_elements == 512
+
+    def test_iteration_and_totals(self):
+        alloc = BufferAllocator()
+        alloc.new("a", 32)
+        alloc.new("b", 32)
+        assert len(alloc) == 2
+        assert alloc.total_bytes == 2 * 32 * 4
+        assert [b.name for b in alloc] == ["a", "b"]
+
+    def test_rejects_bad_line_bytes(self):
+        with pytest.raises(ConfigurationError):
+            BufferAllocator(0)

@@ -1,0 +1,51 @@
+"""Tests for the ``ktiler`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("fig2", "fig3", "fig4", "fig5", "suitability",
+                        "ablation", "demo"):
+            args = parser.parse_args(
+                [command] + (["threshold"] if command == "ablation" else [])
+            )
+            assert args.command == command
+
+    def test_ablation_knob_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation", "nope"])
+
+    def test_l2_override_flag(self):
+        args = build_parser().parse_args(["fig5", "--l2-kb", "256"])
+        assert args.l2_kb == 256
+
+
+class TestExecution:
+    def test_fig4_runs(self, capsys):
+        assert main(["fig4", "--frame-size", "128", "--levels", "2",
+                     "--iters", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "census matches closed form: True" in out
+
+    def test_demo_runs_and_verifies(self, capsys):
+        assert main(["demo", "--size", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "functionally equivalent: True" in out
+
+    def test_fig5_small(self, capsys):
+        code = main([
+            "fig5", "--frame-size", "128", "--levels", "2", "--iters", "4",
+            "--l2-kb", "128",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "average" in out

@@ -1,0 +1,138 @@
+"""Unit and property tests for partitions and cluster merging."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import build_diamond, build_scale_chain
+from repro.core.cluster import Partition
+from repro.errors import GraphError
+
+
+class TestSingletons:
+    def test_every_node_own_cluster(self, diamond_app):
+        part = Partition.singletons(diamond_app.graph)
+        assert len(part) == len(diamond_app.graph)
+        for node in diamond_app.graph:
+            assert part.cluster_of(node.node_id) == node.node_id
+            assert part.members(node.node_id) == frozenset((node.node_id,))
+
+    def test_valid_and_ordered(self, diamond_app):
+        part = Partition.singletons(diamond_app.graph)
+        assert part.is_valid()
+        order = part.topo_order()
+        position = {cid: i for i, cid in enumerate(order)}
+        for edge in diamond_app.graph.edges:
+            assert position[edge.src] < position[edge.dst]
+
+    def test_unknown_lookups(self, diamond_app):
+        part = Partition.singletons(diamond_app.graph)
+        with pytest.raises(GraphError):
+            part.cluster_of(99)
+        with pytest.raises(GraphError):
+            part.members(99)
+
+    def test_consistency_check(self, diamond_app):
+        Partition.singletons(diamond_app.graph).validate_against(diamond_app.graph)
+
+
+class TestMerging:
+    def test_chain_merge_valid(self, chain_app):
+        graph = chain_app.graph
+        part = Partition.singletons(graph)
+        assert part.can_merge(0, 1)
+        merged = part.merged(0, 1)
+        assert merged.cluster_of(0) == merged.cluster_of(1) == 0
+        assert len(merged) == len(graph) - 1
+        merged.validate_against(graph)
+
+    def test_merge_skipping_a_node_is_invalid(self, chain_app):
+        # Merging scale0 with scale2 around scale1 creates a quotient cycle.
+        graph = chain_app.graph
+        part = Partition.singletons(graph)
+        s0 = graph.node_by_name("scale0").node_id
+        s2 = graph.node_by_name("scale2").node_id
+        assert not part.can_merge(s0, s2)
+
+    def test_merge_becomes_valid_after_intermediate(self, chain_app):
+        graph = chain_app.graph
+        part = Partition.singletons(graph)
+        s0 = graph.node_by_name("scale0").node_id
+        s1 = graph.node_by_name("scale1").node_id
+        s2 = graph.node_by_name("scale2").node_id
+        part = part.merged(s0, s1)
+        assert part.can_merge(min(s0, s1), s2)
+
+    def test_diamond_branches_can_merge(self, diamond_app):
+        # left and right are independent: merging them is valid.
+        graph = diamond_app.graph
+        part = Partition.singletons(graph)
+        left = graph.node_by_name("left").node_id
+        right = graph.node_by_name("right").node_id
+        assert part.can_merge(left, right)
+        part.merged(left, right).validate_against(graph)
+
+    def test_diamond_source_with_sink_is_invalid(self, diamond_app):
+        graph = diamond_app.graph
+        part = Partition.singletons(graph)
+        init = graph.node_by_name("init").node_id
+        sink = graph.node_by_name("sum").node_id
+        assert not part.can_merge(init, sink)
+
+    def test_self_merge_rejected(self, diamond_app):
+        part = Partition.singletons(diamond_app.graph)
+        with pytest.raises(GraphError):
+            part.can_merge(0, 0)
+        with pytest.raises(GraphError):
+            part.merged(0, 0)
+
+    def test_merged_is_a_new_object(self, chain_app):
+        part = Partition.singletons(chain_app.graph)
+        merged = part.merged(0, 1)
+        assert part.cluster_of(1) == 1  # original untouched
+        assert merged.cluster_of(1) == 0
+
+    def test_merge_all_chain_clusters(self, chain_app):
+        graph = chain_app.graph
+        part = Partition.singletons(graph)
+        for node_id in range(1, len(graph)):
+            cid = part.cluster_of(node_id - 1)
+            assert part.can_merge(cid, node_id)
+            part = part.merged(cid, node_id)
+        assert len(part) == 1
+        part.validate_against(graph)
+        assert part.topo_order() == [0]
+
+
+@st.composite
+def merge_sequences(draw):
+    length = draw(st.integers(3, 8))
+    ops = draw(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)),
+                        max_size=12))
+    return length, ops
+
+
+class TestMergeProperties:
+    @given(merge_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_random_merges_keep_quotient_consistent(self, seq):
+        length, ops = seq
+        graph = build_scale_chain(length=length, size=64).graph
+        part = Partition.singletons(graph)
+        for a, b in ops:
+            nodes = [n.node_id for n in graph]
+            ca = part.cluster_of(nodes[a % len(nodes)])
+            cb = part.cluster_of(nodes[b % len(nodes)])
+            if ca == cb:
+                continue
+            if part.can_merge(ca, cb):
+                part = part.merged(ca, cb)
+                part.validate_against(graph)
+                assert part.is_valid()
+        # Cluster order always respects every edge.
+        order = part.topo_order()
+        position = {cid: i for i, cid in enumerate(order)}
+        for edge in graph.edges:
+            ca, cb = part.cluster_of(edge.src), part.cluster_of(edge.dst)
+            if ca != cb:
+                assert position[ca] < position[cb]

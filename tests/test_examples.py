@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are user-facing documentation; these tests execute them
+as subprocesses (with reduced parameters where supported) and check
+their key output lines, so the README's promises stay true.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Figure 1(b)" in out
+        assert "Tiled output identical to default output: True" in out
+        assert "+ " not in out.split("gain with IG:")[1][:8]  # a real gain
+
+    def test_optical_flow(self):
+        out = run_example("optical_flow.py", "--iters", "4")
+        assert "Figure 4 graph" in out
+        assert "computes the identical flow: True" in out
+
+    def test_kernel_study(self):
+        out = run_example("kernel_study.py")
+        assert "tileable" in out
+        assert "input-dep" in out
+
+    def test_dvfs_tradeoff(self):
+        out = run_example("dvfs_tradeoff.py")
+        assert "peak" in out
+        assert "splitting 1000 blocks" in out

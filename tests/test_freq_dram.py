@@ -1,0 +1,71 @@
+"""Unit tests for the DVFS configurations and the DRAM model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim.arch import GpuSpec
+from repro.gpusim.dram import DramModel
+from repro.gpusim.freq import FIG3_CONFIGS, FIG5_CONFIGS, NOMINAL, FrequencyConfig
+
+
+class TestFrequencyConfig:
+    def test_conversions_roundtrip(self):
+        freq = FrequencyConfig(1000.0, 2000.0)
+        assert freq.cycles_to_us(1000.0) == pytest.approx(1.0)
+        assert freq.us_to_cycles(freq.cycles_to_us(12345.0)) == pytest.approx(12345.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyConfig(0.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            FrequencyConfig(100.0, -1.0)
+
+    def test_label(self):
+        assert FrequencyConfig(405.0, 810.0).label == "(405,810)"
+
+    def test_paper_config_sets(self):
+        # The exact operating points of Figures 3 and 5.
+        assert (405.0, 405.0) == (FIG3_CONFIGS[0].gpu_mhz, FIG3_CONFIGS[0].mem_mhz)
+        assert len(FIG3_CONFIGS) == 4
+        assert len(FIG5_CONFIGS) == 4
+        assert NOMINAL in FIG5_CONFIGS
+        assert FrequencyConfig(405.0, 810.0) in FIG5_CONFIGS
+
+
+class TestDramModel:
+    @pytest.fixture
+    def dram(self):
+        return DramModel.from_spec(GpuSpec())
+
+    def test_latency_decreases_with_mem_freq(self, dram):
+        slow = dram.miss_latency_ns(FrequencyConfig(1324.0, 810.0))
+        fast = dram.miss_latency_ns(FrequencyConfig(1324.0, 5010.0))
+        assert slow > fast
+
+    def test_latency_cycles_scale_with_gpu_freq(self, dram):
+        low = dram.miss_latency_cycles(FrequencyConfig(405.0, 2505.0))
+        high = dram.miss_latency_cycles(FrequencyConfig(1324.0, 2505.0))
+        assert high / low == pytest.approx(1324.0 / 405.0)
+
+    def test_bandwidth_proportional_to_mem_freq(self, dram):
+        bw1 = dram.bandwidth_bytes_per_s(FrequencyConfig(1324.0, 1600.0))
+        bw2 = dram.bandwidth_bytes_per_s(FrequencyConfig(1324.0, 3200.0))
+        assert bw2 == pytest.approx(2 * bw1)
+
+    def test_nominal_bandwidth_is_gddr5_class(self, dram):
+        # 5010 MHz effective on a 128-bit bus: ~80 GB/s.
+        bw = dram.bandwidth_bytes_per_s(NOMINAL)
+        assert 60e9 < bw < 100e9
+
+    def test_transfer_cycles_linear(self, dram):
+        one = dram.transfer_cycles(1024, NOMINAL)
+        two = dram.transfer_cycles(2048, NOMINAL)
+        assert two == pytest.approx(2 * one)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            DramModel(-1.0, 0.0, 100.0, 16)
+
+    def test_rejects_bad_bus(self):
+        with pytest.raises(ConfigurationError):
+            DramModel(1.0, 1.0, 100.0, 0)

@@ -1,0 +1,247 @@
+"""Functional tests for the 1D kernels: reduce, scan, sort, finance, copies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.buffers import BufferAllocator
+from repro.kernels import (
+    BlackScholesKernel,
+    DeviceCopyKernel,
+    DeviceToHostKernel,
+    HostToDeviceKernel,
+    MatMulKernel,
+    TransposeKernel,
+    build_bitonic_network,
+    build_reduction_chain,
+    build_scan_chain,
+)
+
+LINE_SHIFT = 7
+
+
+@pytest.fixture
+def alloc():
+    return BufferAllocator()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+def run_chain(kernels, arrays):
+    for kernel in kernels:
+        kernel.run_blocks(arrays, kernel.all_block_ids())
+
+
+class TestReduction:
+    def test_full_reduction(self, alloc, rng):
+        n = 10_000
+        src = alloc.new("src", n)
+        kernels, result = build_reduction_chain(alloc, src)
+        arrays = {b.name: b.make_array() for b in alloc}
+        arrays["src"][:] = rng.random(n, dtype=np.float32)
+        run_chain(kernels, arrays)
+        expected = arrays["src"].astype(np.float64).sum()
+        assert arrays[result.name][0] == pytest.approx(expected, rel=1e-5)
+
+    def test_chain_depth(self, alloc):
+        src = alloc.new("src", 2048 * 2048)
+        kernels, result = build_reduction_chain(alloc, src)
+        assert len(kernels) == 2  # 4M -> 2048 -> 1
+        assert result.num_elements == 1
+
+    def test_output_size_validation(self, alloc):
+        from repro.kernels.reduce import ReductionKernel
+
+        src = alloc.new("src", 10_000)
+        out = alloc.new("out", 1)
+        with pytest.raises(ConfigurationError):
+            ReductionKernel(src, out)
+
+
+class TestScan:
+    @pytest.mark.parametrize("n", [1024, 4096, 3000])
+    def test_inclusive_scan(self, n, rng):
+        alloc = BufferAllocator()
+        src = alloc.new("src", n)
+        kernels, result = build_scan_chain(alloc, src)
+        arrays = {b.name: b.make_array() for b in alloc}
+        arrays["src"][:] = rng.integers(0, 4, n).astype(np.float32)
+        run_chain(kernels, arrays)
+        expected = np.cumsum(arrays["src"])
+        np.testing.assert_allclose(arrays[result.name], expected, rtol=1e-5)
+
+    def test_step_count_log2(self, alloc):
+        src = alloc.new("src", 1 << 14)
+        kernels, _ = build_scan_chain(alloc, src)
+        assert len(kernels) == 14
+
+    def test_distance_validation(self, alloc):
+        from repro.kernels.scan import ScanStepKernel
+
+        src = alloc.new("a", 64)
+        out = alloc.new("b", 64)
+        with pytest.raises(ConfigurationError):
+            ScanStepKernel(src, out, 0)
+
+
+class TestBitonicSort:
+    @pytest.mark.parametrize("n", [1024, 8192])
+    def test_sorts(self, n, rng):
+        alloc = BufferAllocator()
+        src = alloc.new("src", n)
+        kernels, result = build_bitonic_network(alloc, src)
+        arrays = {b.name: b.make_array() for b in alloc}
+        arrays["src"][:] = rng.random(n, dtype=np.float32)
+        run_chain(kernels, arrays)
+        np.testing.assert_array_equal(
+            arrays[result.name], np.sort(arrays["src"])
+        )
+
+    def test_network_size(self, alloc):
+        src = alloc.new("src", 1 << 10)
+        kernels, _ = build_bitonic_network(alloc, src)
+        assert len(kernels) == 10 * 11 // 2  # sum over stages of log(stage)
+
+    def test_power_of_two_required(self, alloc):
+        from repro.kernels.sort import BitonicStepKernel
+
+        src = alloc.new("a", 100)
+        out = alloc.new("b", 100)
+        with pytest.raises(ConfigurationError):
+            BitonicStepKernel(src, out, 2, 1)
+
+    def test_cross_block_partner_reads(self, alloc):
+        from repro.kernels.sort import SORT_CHUNK, BitonicStepKernel
+
+        src = alloc.new("a", 4 * SORT_CHUNK)
+        out = alloc.new("b", 4 * SORT_CHUNK)
+        k = BitonicStepKernel(src, out, 2 * SORT_CHUNK, SORT_CHUNK)
+        reads, _ = k.block_line_sets(0, LINE_SHIFT)
+        own = k.block_line_sets(1, LINE_SHIFT)[0]
+        # Block 0 reads its own chunk and block 1's chunk (the partner).
+        assert reads > set()
+        assert len(reads) == 2 * SORT_CHUNK * 4 // 128
+
+
+class TestBlackScholes:
+    def test_put_call_parity(self, alloc, rng):
+        n = 4096
+        names = ["spot", "strike", "expiry", "call", "put"]
+        bufs = [alloc.new(name, n) for name in names]
+        k = BlackScholesKernel(*bufs, riskfree=0.02, volatility=0.3)
+        arrays = {b.name: b.make_array() for b in alloc}
+        arrays["spot"][:] = 50 + 50 * rng.random(n, dtype=np.float32)
+        arrays["strike"][:] = 50 + 50 * rng.random(n, dtype=np.float32)
+        arrays["expiry"][:] = 0.25 + rng.random(n, dtype=np.float32)
+        k.run_blocks(arrays, k.all_block_ids())
+        s, x, t = arrays["spot"], arrays["strike"], arrays["expiry"]
+        parity = arrays["call"] - arrays["put"]
+        expected = s - x * np.exp(-0.02 * t)
+        np.testing.assert_allclose(parity, expected, atol=1e-3)
+
+    def test_deep_in_the_money_call(self, alloc):
+        n = 1024
+        names = ["spot", "strike", "expiry", "call", "put"]
+        bufs = [alloc.new(name, n) for name in names]
+        k = BlackScholesKernel(*bufs)
+        arrays = {b.name: b.make_array() for b in alloc}
+        arrays["spot"][:] = 1000.0
+        arrays["strike"][:] = 1.0
+        arrays["expiry"][:] = 1.0
+        k.run_blocks(arrays, k.all_block_ids())
+        assert (arrays["call"] > 990).all()
+        assert (np.abs(arrays["put"]) < 1e-3).all()
+
+    def test_size_mismatch_rejected(self, alloc):
+        a = alloc.new("a", 100)
+        b = alloc.new("b", 100)
+        c = alloc.new("c", 100)
+        d = alloc.new("d", 100)
+        e = alloc.new("e", 50)
+        with pytest.raises(ConfigurationError):
+            BlackScholesKernel(a, b, c, d, e)
+
+
+class TestLinalg:
+    def test_matmul(self, alloc, rng):
+        m, k_dim, n = 64, 48, 96
+        a = alloc.new("a", m * k_dim, shape=(m, k_dim))
+        b = alloc.new("b", k_dim * n, shape=(k_dim, n))
+        c = alloc.new("c", m * n, shape=(m, n))
+        k = MatMulKernel(a, b, c)
+        arrays = {buf.name: buf.make_array() for buf in alloc}
+        arrays["a"][:] = rng.random((m, k_dim), dtype=np.float32)
+        arrays["b"][:] = rng.random((k_dim, n), dtype=np.float32)
+        k.run_blocks(arrays, k.all_block_ids())
+        np.testing.assert_allclose(
+            arrays["c"], arrays["a"] @ arrays["b"], rtol=1e-4
+        )
+
+    def test_matmul_shape_validation(self, alloc):
+        a = alloc.new("a", 64 * 32, shape=(64, 32))
+        b = alloc.new("b", 64 * 32, shape=(64, 32))
+        c = alloc.new("c", 64 * 64, shape=(64, 64))
+        with pytest.raises(ConfigurationError):
+            MatMulKernel(a, b, c)
+
+    def test_transpose(self, alloc, rng):
+        src = alloc.new("src", 64 * 128, shape=(64, 128))
+        out = alloc.new("out", 128 * 64, shape=(128, 64))
+        k = TransposeKernel(src, out)
+        arrays = {buf.name: buf.make_array() for buf in alloc}
+        arrays["src"][:] = rng.random((64, 128), dtype=np.float32)
+        k.run_blocks(arrays, k.all_block_ids())
+        np.testing.assert_array_equal(arrays["out"], arrays["src"].T)
+
+    def test_transpose_reads_are_strided(self, alloc):
+        src = alloc.new("src", 128 * 128, shape=(128, 128))
+        out = alloc.new("out", 128 * 128, shape=(128, 128))
+        k = TransposeKernel(src, out)
+        # An output tile of 8 columns reads 32 rows of 8 elements:
+        # touches one line per source row (strided, low utilization).
+        reads, _ = k.block_line_sets(0, LINE_SHIFT)
+        assert len(reads) == 32
+
+
+class TestCopies:
+    def test_host_to_device(self, alloc, rng):
+        dst = alloc.new("dst", 10_000)
+        k = HostToDeviceKernel(dst)
+        payload = rng.random(10_000, dtype=np.float32)
+        arrays = {"dst": dst.make_array(), "dst__host": payload}
+        k.run_blocks(arrays, k.all_block_ids())
+        np.testing.assert_array_equal(arrays["dst"], payload)
+
+    def test_device_to_host(self, alloc, rng):
+        src = alloc.new("src", 10_000)
+        k = DeviceToHostKernel(src)
+        arrays = {"src": src.make_array()}
+        arrays["src"][:] = rng.random(10_000, dtype=np.float32)
+        k.run_blocks(arrays, k.all_block_ids())
+        np.testing.assert_array_equal(arrays["src__host"], arrays["src"])
+
+    def test_device_copy(self, alloc, rng):
+        src = alloc.new("src", 5000)
+        dst = alloc.new("dst", 5000)
+        k = DeviceCopyKernel(src, dst)
+        arrays = {b.name: b.make_array() for b in alloc}
+        arrays["src"][:] = rng.random(5000, dtype=np.float32)
+        k.run_blocks(arrays, k.all_block_ids())
+        np.testing.assert_array_equal(arrays["dst"], arrays["src"])
+
+    def test_copy_size_mismatch(self, alloc):
+        src = alloc.new("src", 100)
+        dst = alloc.new("dst", 200)
+        with pytest.raises(ConfigurationError):
+            DeviceCopyKernel(src, dst)
+
+    def test_htd_writes_cover_buffer(self, alloc):
+        dst = alloc.new("dst", 10_000)
+        k = HostToDeviceKernel(dst)
+        written = set()
+        for bid in k.all_block_ids():
+            written |= k.block_line_sets(bid, LINE_SHIFT)[1]
+        assert written == set(dst.lines(LINE_SHIFT))

@@ -1,0 +1,139 @@
+"""Unit tests for the kernel abstraction (geometry, memoization, helpers)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim.access import AccessKind
+from repro.graph.buffers import BufferAllocator
+from repro.kernels.base import row_accesses
+from repro.kernels.pointwise import ScaleKernel
+
+LINE_SHIFT = 7
+
+
+@pytest.fixture
+def kernel():
+    alloc = BufferAllocator()
+    src = alloc.new_image("src", 64, 64)
+    out = alloc.new_image("out", 64, 64)
+    return ScaleKernel(src, out, 2.0)
+
+
+class TestGeometry:
+    def test_grid_from_output(self, kernel):
+        # 64x64 output with 32x8 blocks: 2 x 8 grid.
+        assert kernel.grid == (2, 8)
+        assert kernel.num_blocks == 16
+        assert kernel.threads_per_block == 256
+
+    def test_block_coords_roundtrip(self, kernel):
+        for bid in kernel.all_block_ids():
+            bx, by = kernel.block_coords(bid)
+            assert kernel.block_id(bx, by) == bid
+
+    def test_block_coords_bounds(self, kernel):
+        with pytest.raises(ConfigurationError):
+            kernel.block_coords(16)
+        with pytest.raises(ConfigurationError):
+            kernel.block_id(2, 0)
+
+    def test_launch_signature(self, kernel):
+        assert kernel.launch_signature == "scale<<<(2x8),(32x8)>>>"
+
+    def test_figure1_grayscale_signature(self):
+        # The paper's kernel A: 256x256 image, 32x8 blocks -> (8x32) grid.
+        from repro.kernels.pointwise import GrayscaleKernel
+
+        alloc = BufferAllocator()
+        rgba = alloc.new_image("rgba", 256, 1024)
+        gray = alloc.new_image("gray", 256, 256)
+        assert GrayscaleKernel(rgba, gray).launch_signature == (
+            "grayscale<<<(8x32),(32x8)>>>"
+        )
+
+
+class TestAccessCaching:
+    def test_line_stream_memoized(self, kernel):
+        first = kernel.block_line_stream(0, LINE_SHIFT)
+        second = kernel.block_line_stream(0, LINE_SHIFT)
+        assert first is second
+
+    def test_line_sets_are_shared_frozensets(self, kernel):
+        reads1, writes1 = kernel.block_line_sets(0, LINE_SHIFT)
+        reads2, writes2 = kernel.block_line_sets(0, LINE_SHIFT)
+        assert reads1 is reads2 and writes1 is writes2
+        assert isinstance(reads1, frozenset)
+
+    def test_touched_is_union(self, kernel):
+        reads, writes = kernel.block_line_sets(3, LINE_SHIFT)
+        assert kernel.block_touched_lines(3, LINE_SHIFT) == reads | writes
+
+    def test_stream_consistent_with_sets(self, kernel):
+        stream = kernel.block_line_stream(5, LINE_SHIFT)
+        reads, writes = kernel.block_line_sets(5, LINE_SHIFT)
+        stream_reads = {line for line, w in stream if not w}
+        stream_writes = {line for line, w in stream if w}
+        assert stream_reads == set(reads)
+        assert stream_writes == set(writes)
+
+    def test_blocks_partition_output_lines(self, kernel):
+        """Union of all blocks' written lines covers the output exactly."""
+        written = set()
+        for bid in kernel.all_block_ids():
+            _, writes = kernel.block_line_sets(bid, LINE_SHIFT)
+            written |= writes
+        assert written == set(kernel.out.lines(LINE_SHIFT))
+
+    def test_block_instrs_positive(self, kernel):
+        assert kernel.block_instrs(0, 0) > 0
+
+    def test_footprint_lines(self, kernel):
+        single = kernel.footprint_lines([0], LINE_SHIFT)
+        double = kernel.footprint_lines([0, 1], LINE_SHIFT)
+        assert len(single) < len(double)
+        assert single <= double
+
+
+class TestRowAccesses:
+    def test_clamping(self):
+        alloc = BufferAllocator()
+        img = alloc.new_image("img", 8, 8)
+        ranges = row_accesses(img, -2, 3, -1, 9, AccessKind.LOAD)
+        assert len(ranges) == 3  # rows 0..2
+        for rng in ranges:
+            assert rng.count == 8  # cols clamped to [0, 8)
+
+    def test_empty_region(self):
+        alloc = BufferAllocator()
+        img = alloc.new_image("img", 8, 8)
+        assert row_accesses(img, 5, 5, 0, 8, AccessKind.LOAD) == []
+        assert row_accesses(img, 0, 2, 8, 10, AccessKind.LOAD) == []
+
+
+class TestValidation:
+    def test_bad_grid_rejected(self):
+        from repro.kernels.base import KernelSpec
+
+        class Bad(KernelSpec):
+            def block_accesses(self, bx, by):
+                return []
+
+        alloc = BufferAllocator()
+        buf = alloc.new("b", 16)
+        with pytest.raises(ConfigurationError):
+            Bad("bad", (0, 1), (32, 8), (), (buf,))
+        with pytest.raises(ConfigurationError):
+            Bad("bad", (1, 1), (32, 8), (), (buf,), instrs_per_thread=0)
+
+    def test_missing_functional_body_raises(self, kernel):
+        from repro.kernels.base import KernelSpec
+
+        class NoBody(KernelSpec):
+            def block_accesses(self, bx, by):
+                return []
+
+        alloc = BufferAllocator()
+        buf = alloc.new("b", 16)
+        k = NoBody("nobody", (1, 1), (32, 1), (), (buf,))
+        with pytest.raises(NotImplementedError):
+            k.run_block({}, 0, 0)

@@ -1,0 +1,277 @@
+"""Functional and access-pattern tests for the 2D image kernels.
+
+Each kernel's block-wise execution is compared against an independent
+whole-array numpy computation, and the traced access pattern is checked
+to cover everything the functional body actually touches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.buffers import BufferAllocator
+from repro.kernels import (
+    AddKernel,
+    ConvolveKernel,
+    DerivativesKernel,
+    DownscaleKernel,
+    GrayscaleKernel,
+    JacobiKernel,
+    MemsetKernel,
+    ScaleKernel,
+    UpscaleKernel,
+    WarpKernel,
+)
+
+SIZE = 64
+LINE_SHIFT = 7
+
+
+@pytest.fixture
+def alloc():
+    return BufferAllocator()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def run_all(kernel, arrays):
+    kernel.run_blocks(arrays, kernel.all_block_ids())
+
+
+class TestGrayscale:
+    def test_matches_weighted_sum(self, alloc, rng):
+        rgba = alloc.new_image("rgba", SIZE, 4 * SIZE)
+        gray = alloc.new_image("gray", SIZE, SIZE)
+        k = GrayscaleKernel(rgba, gray)
+        arrays = {b.name: b.make_array() for b in alloc}
+        arrays["rgba"][:] = rng.random((SIZE, 4 * SIZE), dtype=np.float32)
+        run_all(k, arrays)
+        px = arrays["rgba"].reshape(SIZE, SIZE, 4)
+        expected = 0.299 * px[:, :, 0] + 0.587 * px[:, :, 1] + 0.114 * px[:, :, 2]
+        np.testing.assert_allclose(arrays["gray"], expected, atol=1e-5)
+
+    def test_shape_validation(self, alloc):
+        src = alloc.new_image("src", SIZE, SIZE)
+        out = alloc.new_image("out", SIZE, SIZE)
+        with pytest.raises(ConfigurationError):
+            GrayscaleKernel(src, out)
+
+
+class TestPointwise:
+    def test_add(self, alloc, rng):
+        a = alloc.new_image("a", SIZE, SIZE)
+        b = alloc.new_image("b", SIZE, SIZE)
+        c = alloc.new_image("c", SIZE, SIZE)
+        k = AddKernel(a, b, c)
+        arrays = {buf.name: buf.make_array() for buf in alloc}
+        arrays["a"][:] = rng.random((SIZE, SIZE), dtype=np.float32)
+        arrays["b"][:] = rng.random((SIZE, SIZE), dtype=np.float32)
+        run_all(k, arrays)
+        np.testing.assert_array_equal(arrays["c"], arrays["a"] + arrays["b"])
+
+    def test_scale(self, alloc, rng):
+        a = alloc.new_image("a", SIZE, SIZE)
+        b = alloc.new_image("b", SIZE, SIZE)
+        k = ScaleKernel(a, b, 2.5)
+        arrays = {buf.name: buf.make_array() for buf in alloc}
+        arrays["a"][:] = rng.random((SIZE, SIZE), dtype=np.float32)
+        run_all(k, arrays)
+        np.testing.assert_allclose(arrays["b"], 2.5 * arrays["a"], rtol=1e-6)
+
+    def test_memset(self, alloc):
+        a = alloc.new_image("a", SIZE, SIZE)
+        k = MemsetKernel(a, 7.0)
+        arrays = {"a": a.make_array()}
+        run_all(k, arrays)
+        assert (arrays["a"] == 7.0).all()
+
+    def test_memset_has_no_reads(self, alloc):
+        a = alloc.new_image("a", SIZE, SIZE)
+        k = MemsetKernel(a, 0.0)
+        reads, writes = k.block_line_sets(0, LINE_SHIFT)
+        assert not reads and writes
+
+
+class TestResize:
+    def test_downscale_is_2x2_mean(self, alloc, rng):
+        src = alloc.new_image("src", SIZE, SIZE)
+        out = alloc.new_image("out", SIZE // 2, SIZE // 2)
+        k = DownscaleKernel(src, out)
+        arrays = {b.name: b.make_array() for b in alloc}
+        arrays["src"][:] = rng.random((SIZE, SIZE), dtype=np.float32)
+        run_all(k, arrays)
+        expected = arrays["src"].reshape(SIZE // 2, 2, SIZE // 2, 2).mean(
+            axis=(1, 3), dtype=np.float32
+        )
+        np.testing.assert_allclose(arrays["out"], expected, atol=1e-6)
+
+    def test_downscale_shape_check(self, alloc):
+        src = alloc.new_image("src", SIZE, SIZE)
+        out = alloc.new_image("out", SIZE, SIZE)
+        with pytest.raises(ConfigurationError):
+            DownscaleKernel(src, out)
+
+    def test_upscale_nearest_with_value_scale(self, alloc, rng):
+        src = alloc.new_image("src", SIZE // 2, SIZE // 2)
+        out = alloc.new_image("out", SIZE, SIZE)
+        k = UpscaleKernel(src, out, value_scale=2.0)
+        arrays = {b.name: b.make_array() for b in alloc}
+        arrays["src"][:] = rng.random((SIZE // 2, SIZE // 2), dtype=np.float32)
+        run_all(k, arrays)
+        expected = 2.0 * np.repeat(np.repeat(arrays["src"], 2, 0), 2, 1)
+        np.testing.assert_allclose(arrays["out"], expected, rtol=1e-6)
+
+
+class TestWarp:
+    def test_zero_flow_is_identity(self, alloc, rng):
+        src = alloc.new_image("src", SIZE, SIZE)
+        u = alloc.new_image("u", SIZE, SIZE)
+        v = alloc.new_image("v", SIZE, SIZE)
+        out = alloc.new_image("out", SIZE, SIZE)
+        k = WarpKernel(src, u, v, out)
+        arrays = {b.name: b.make_array() for b in alloc}
+        arrays["src"][:] = rng.random((SIZE, SIZE), dtype=np.float32)
+        run_all(k, arrays)
+        np.testing.assert_allclose(arrays["out"], arrays["src"], atol=1e-6)
+
+    def test_integer_shift(self, alloc, rng):
+        src = alloc.new_image("src", SIZE, SIZE)
+        u = alloc.new_image("u", SIZE, SIZE)
+        v = alloc.new_image("v", SIZE, SIZE)
+        out = alloc.new_image("out", SIZE, SIZE)
+        k = WarpKernel(src, u, v, out, max_displacement=4)
+        arrays = {b.name: b.make_array() for b in alloc}
+        arrays["src"][:] = rng.random((SIZE, SIZE), dtype=np.float32)
+        arrays["u"][:] = 2.0  # sample from x+2
+        run_all(k, arrays)
+        np.testing.assert_allclose(
+            arrays["out"][:, : SIZE - 2], arrays["src"][:, 2:], atol=1e-6
+        )
+
+    def test_displacement_clamped_to_contract(self, alloc, rng):
+        src = alloc.new_image("src", SIZE, SIZE)
+        u = alloc.new_image("u", SIZE, SIZE)
+        v = alloc.new_image("v", SIZE, SIZE)
+        out = alloc.new_image("out", SIZE, SIZE)
+        k = WarpKernel(src, u, v, out, max_displacement=2)
+        arrays = {b.name: b.make_array() for b in alloc}
+        arrays["src"][:] = rng.random((SIZE, SIZE), dtype=np.float32)
+        arrays["u"][:] = 100.0  # far beyond the halo: clamps to +2
+        run_all(k, arrays)
+        np.testing.assert_allclose(
+            arrays["out"][:, : SIZE - 2], arrays["src"][:, 2:], atol=1e-6
+        )
+
+    def test_marked_input_dependent(self, alloc):
+        src = alloc.new_image("src", SIZE, SIZE)
+        u = alloc.new_image("u", SIZE, SIZE)
+        v = alloc.new_image("v", SIZE, SIZE)
+        out = alloc.new_image("out", SIZE, SIZE)
+        assert WarpKernel(src, u, v, out).input_dependent
+
+
+class TestDerivatives:
+    def test_constant_image_zero_gradient(self, alloc):
+        names = ["f0", "wp", "ix", "iy", "it"]
+        bufs = {n: alloc.new_image(n, SIZE, SIZE) for n in names}
+        k = DerivativesKernel(*[bufs[n] for n in names])
+        arrays = {n: bufs[n].make_array() for n in names}
+        arrays["f0"][:] = 3.0
+        arrays["wp"][:] = 5.0
+        run_all(k, arrays)
+        assert np.allclose(arrays["ix"], 0.0)
+        assert np.allclose(arrays["iy"], 0.0)
+        assert np.allclose(arrays["it"], 2.0)
+
+    def test_linear_ramp_gradient(self, alloc):
+        names = ["f0", "wp", "ix", "iy", "it"]
+        bufs = {n: alloc.new_image(n, SIZE, SIZE) for n in names}
+        k = DerivativesKernel(*[bufs[n] for n in names])
+        arrays = {n: bufs[n].make_array() for n in names}
+        ramp = np.arange(SIZE, dtype=np.float32)[None, :].repeat(SIZE, 0)
+        arrays["f0"][:] = ramp
+        arrays["wp"][:] = ramp
+        run_all(k, arrays)
+        # Interior: central difference of a unit ramp is exactly 1.
+        assert np.allclose(arrays["ix"][:, 1:-1], 1.0)
+        # Borders: clamped one-sided difference halves.
+        assert np.allclose(arrays["ix"][:, 0], 0.5)
+        assert np.allclose(arrays["ix"][:, -1], 0.5)
+        assert np.allclose(arrays["iy"], 0.0)
+
+
+class TestJacobi:
+    def _build(self, alloc):
+        names = ["du0", "dv0", "ix", "iy", "it", "du1", "dv1"]
+        bufs = {n: alloc.new_image(n, SIZE, SIZE) for n in names}
+        k = JacobiKernel(*[bufs[n] for n in names], alpha=1.0)
+        return k, {n: bufs[n].make_array() for n in names}
+
+    def test_zero_system_stays_zero(self, alloc):
+        k, arrays = self._build(alloc)
+        run_all(k, arrays)
+        assert not arrays["du1"].any()
+        assert not arrays["dv1"].any()
+
+    def test_matches_vectorized_sweep(self, alloc, rng):
+        from repro.apps.hsopticalflow import _jacobi_sweep
+
+        k, arrays = self._build(alloc)
+        for name in ("du0", "dv0", "ix", "iy", "it"):
+            arrays[name][:] = rng.standard_normal((SIZE, SIZE)).astype(np.float32)
+        run_all(k, arrays)
+        du_ref, dv_ref = _jacobi_sweep(
+            arrays["du0"], arrays["dv0"], arrays["ix"], arrays["iy"],
+            arrays["it"], 1.0,
+        )
+        np.testing.assert_allclose(arrays["du1"], du_ref, atol=1e-5)
+        np.testing.assert_allclose(arrays["dv1"], dv_ref, atol=1e-5)
+
+    def test_reads_have_one_pixel_halo(self, alloc):
+        k, _ = self._build(alloc)
+        # An interior block reads du0 rows [tile-1, tile+1).
+        bx, by = 1, 2
+        row0, row1, col0, col1 = k.tile_bounds(bx, by)
+        halo_rows = {
+            rng.offset // SIZE
+            for rng in k.tile_reads(bx, by)
+            if rng.buffer.name == "du0"
+        }
+        assert min(halo_rows) == row0 - 1
+        assert max(halo_rows) == row1
+
+    def test_alpha_validation(self, alloc):
+        names = ["a", "b", "c", "d", "e", "f", "g"]
+        bufs = [alloc.new_image(n, SIZE, SIZE) for n in names]
+        with pytest.raises(ConfigurationError):
+            JacobiKernel(*bufs, alpha=0.0)
+
+
+class TestConvolve:
+    def test_constant_preserved(self, alloc):
+        src = alloc.new_image("src", SIZE, SIZE)
+        out = alloc.new_image("out", SIZE, SIZE)
+        k = ConvolveKernel(src, out, radius=2)
+        arrays = {b.name: b.make_array() for b in alloc}
+        arrays["src"][:] = 4.0
+        run_all(k, arrays)
+        np.testing.assert_allclose(arrays["out"], 4.0, rtol=1e-6)
+
+    def test_box_filter_interior(self, alloc, rng):
+        src = alloc.new_image("src", SIZE, SIZE)
+        out = alloc.new_image("out", SIZE, SIZE)
+        r = 1
+        k = ConvolveKernel(src, out, radius=r)
+        arrays = {b.name: b.make_array() for b in alloc}
+        arrays["src"][:] = rng.random((SIZE, SIZE), dtype=np.float32)
+        run_all(k, arrays)
+        s = arrays["src"].astype(np.float64)
+        interior = sum(
+            s[1 + dy : SIZE - 1 + dy, 1 + dx : SIZE - 1 + dx]
+            for dy in (-1, 0, 1)
+            for dx in (-1, 0, 1)
+        ) / 9.0
+        np.testing.assert_allclose(arrays["out"][1:-1, 1:-1], interior, atol=1e-5)

@@ -1,0 +1,90 @@
+"""Unit tests for profiler counters and the execution timeline."""
+
+import pytest
+
+from repro.gpusim import GpuSimulator, KernelProfile, compare_profiles
+from repro.gpusim.timeline import Timeline
+from repro.graph.buffers import BufferAllocator
+from repro.kernels.pointwise import ScaleKernel
+
+
+@pytest.fixture
+def launch_result():
+    alloc = BufferAllocator()
+    src = alloc.new_image("src", 128, 128)
+    out = alloc.new_image("out", 128, 128)
+    return GpuSimulator().launch(ScaleKernel(src, out, 2.0))
+
+
+class TestKernelProfile:
+    def test_from_result(self, launch_result):
+        profile = KernelProfile.from_result(launch_result)
+        assert profile.kernel_name == "scale"
+        assert profile.num_blocks == launch_result.tally.num_blocks
+        assert 0.0 <= profile.cache_hit_rate <= 1.0
+        assert 0.0 < profile.warp_issue_efficiency < 1.0
+        assert profile.time_us == launch_result.time_us
+
+    def test_pie_complements(self, launch_result):
+        profile = KernelProfile.from_result(launch_result)
+        assert profile.no_eligible_warp_fraction == pytest.approx(
+            1.0 - profile.warp_issue_efficiency
+        )
+        assert profile.other_stall_fraction == pytest.approx(
+            1.0 - profile.memory_stall_fraction
+        )
+
+    def test_format_row(self, launch_result):
+        row = KernelProfile.from_result(launch_result).format_row()
+        assert "scale" in row and "hit=" in row
+
+    def test_compare_profiles(self, launch_result):
+        profile = KernelProfile.from_result(launch_result)
+        deltas = compare_profiles(profile, profile)
+        assert deltas["hit_rate_gap"] == 0.0
+        assert deltas["issue_efficiency_ratio"] == pytest.approx(1.0)
+
+
+class TestTimeline:
+    def test_gap_before_every_launch_but_first(self):
+        tl = Timeline(launch_gap_us=5.0)
+        tl.add_launch("a", 10.0)
+        tl.add_launch("b", 20.0)
+        tl.add_launch("c", 30.0)
+        assert tl.num_launches == 3
+        assert tl.busy_us == 60.0
+        assert tl.total_gap_us == 10.0
+        assert tl.total_us == 70.0
+
+    def test_single_launch_has_no_gap(self):
+        tl = Timeline(launch_gap_us=5.0)
+        tl.add_launch("a", 10.0)
+        assert tl.total_us == 10.0
+
+    def test_event_positions(self):
+        tl = Timeline(launch_gap_us=2.0)
+        first = tl.add_launch("a", 10.0)
+        second = tl.add_launch("b", 5.0)
+        assert first.start_us == 0.0
+        assert first.end_us == 10.0
+        assert second.gap_before_us == 2.0
+        assert second.start_us == 12.0
+        assert second.end_us == 17.0
+
+    def test_gap_override(self):
+        tl = Timeline(launch_gap_us=5.0)
+        tl.add_launch("a", 1.0)
+        tl.add_launch("b", 1.0, gap_us=0.0)
+        assert tl.total_gap_us == 0.0
+
+    def test_zero_gap_views_agree(self):
+        tl = Timeline(launch_gap_us=0.0)
+        for i in range(4):
+            tl.add_launch(f"k{i}", 2.5)
+        assert tl.total_us == tl.busy_us == 10.0
+
+    def test_iteration_and_summary(self):
+        tl = Timeline(1.0)
+        tl.add_launch("a", 1.0)
+        assert len(list(tl)) == len(tl) == 1
+        assert "1 launches" in tl.summary()

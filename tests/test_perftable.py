@@ -1,0 +1,105 @@
+"""Unit tests for performance tables and combination lookup."""
+
+import pytest
+
+from repro.core.perftable import (
+    EMPTY_COMBO,
+    PerformanceTable,
+    PerfTableSet,
+)
+from repro.errors import ConfigurationError, TilingError
+
+
+class TestPerformanceTable:
+    def test_exact_points(self):
+        table = PerformanceTable([(1, 1.0), (10, 10.0)])
+        assert table.query(1) == 1.0
+        assert table.query(10) == 10.0
+
+    def test_linear_interpolation(self):
+        table = PerformanceTable([(2, 2.0), (10, 18.0)])
+        assert table.query(6) == pytest.approx(10.0)
+
+    def test_below_smallest_scales_through_origin(self):
+        table = PerformanceTable([(4, 8.0), (8, 16.0)])
+        assert table.query(2) == pytest.approx(4.0)
+
+    def test_above_largest_extrapolates(self):
+        table = PerformanceTable([(2, 2.0), (4, 4.0)])
+        assert table.query(8) == pytest.approx(8.0)
+
+    def test_extrapolation_clamped_nonnegative(self):
+        table = PerformanceTable([(2, 10.0), (4, 1.0)])
+        assert table.query(100) == 0.0
+
+    def test_single_point_scales(self):
+        table = PerformanceTable([(4, 8.0)])
+        assert table.query(2) == pytest.approx(4.0)
+        assert table.query(8) == pytest.approx(16.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PerformanceTable([])
+        with pytest.raises(ConfigurationError):
+            PerformanceTable([(0, 1.0)])
+        with pytest.raises(ConfigurationError):
+            PerformanceTable([(1, -1.0)])
+        with pytest.raises(ConfigurationError):
+            PerformanceTable([(1, 1.0), (1, 2.0)])
+        table = PerformanceTable([(1, 1.0)])
+        with pytest.raises(ConfigurationError):
+            table.query(0)
+
+    def test_points_sorted(self):
+        table = PerformanceTable([(8, 8.0), (2, 2.0)])
+        assert table.points == [(2, 2.0), (8, 8.0)]
+
+    def test_monotone_inputs_give_monotone_interpolation(self):
+        table = PerformanceTable([(1, 1.0), (4, 5.0), (16, 30.0)])
+        values = [table.query(g) for g in range(1, 17)]
+        assert values == sorted(values)
+
+
+class TestPerfTableSet:
+    class FakeKernel:
+        name = "fake"
+
+    def test_exact_combo(self):
+        kernel = self.FakeKernel()
+        tables = PerfTableSet()
+        tables.add(kernel, EMPTY_COMBO, PerformanceTable([(1, 10.0)]))
+        tables.add(kernel, frozenset({"a"}), PerformanceTable([(1, 5.0)]))
+        assert tables.time(kernel, frozenset({"a"}), 1) == 5.0
+        assert tables.time(kernel, EMPTY_COMBO, 1) == 10.0
+
+    def test_subset_fallback_prefers_largest(self):
+        kernel = self.FakeKernel()
+        tables = PerfTableSet()
+        tables.add(kernel, EMPTY_COMBO, PerformanceTable([(1, 10.0)]))
+        tables.add(kernel, frozenset({"a"}), PerformanceTable([(1, 7.0)]))
+        tables.add(kernel, frozenset({"a", "b"}), PerformanceTable([(1, 4.0)]))
+        # {a, b, c} is unmeasured: falls back to {a, b}.
+        assert tables.time(kernel, frozenset({"a", "b", "c"}), 1) == 4.0
+        # {c} alone falls back to the empty combination.
+        assert tables.time(kernel, frozenset({"c"}), 1) == 10.0
+
+    def test_unknown_kernel(self):
+        tables = PerfTableSet()
+        with pytest.raises(TilingError):
+            tables.time(self.FakeKernel(), EMPTY_COMBO, 1)
+
+    def test_no_fallback_available(self):
+        kernel = self.FakeKernel()
+        tables = PerfTableSet()
+        tables.add(kernel, frozenset({"a"}), PerformanceTable([(1, 1.0)]))
+        with pytest.raises(TilingError):
+            tables.time(kernel, frozenset({"b"}), 1)
+
+    def test_combos_and_len(self):
+        kernel = self.FakeKernel()
+        tables = PerfTableSet()
+        tables.add(kernel, EMPTY_COMBO, PerformanceTable([(1, 1.0)]))
+        tables.add(kernel, frozenset({"x"}), PerformanceTable([(1, 1.0)]))
+        assert len(tables) == 2
+        assert tables.has_kernel(kernel)
+        assert EMPTY_COMBO in tables.combos(kernel)

@@ -1,0 +1,163 @@
+"""Tests for the auto-profiler and edge-weight computation."""
+
+import pytest
+
+from repro.core.perftable import EMPTY_COMBO
+from repro.core.profiler import (
+    KernelProfiler,
+    LazyPerfTables,
+    grid_ladder,
+)
+from repro.core.weights import (
+    compute_edge_weights,
+    node_is_tileable,
+    select_candidates,
+)
+from repro.errors import ConfigurationError
+from repro.gpusim import NOMINAL, FrequencyConfig, GpuSpec
+from repro.graph.buffers import BufferAllocator
+from repro.kernels.pointwise import ScaleKernel
+
+
+class TestGridLadder:
+    def test_includes_full_grid(self):
+        assert grid_ladder(256)[-1] == 256
+
+    def test_distinct_and_sorted(self):
+        ladder = grid_ladder(1000)
+        assert ladder == sorted(set(ladder))
+
+    def test_tiny_grid(self):
+        assert grid_ladder(1) == [1]
+
+    def test_fraction_resolution(self):
+        ladder = grid_ladder(64, fractions=(0.25, 0.5, 1.0))
+        assert ladder == [16, 32, 64]
+
+
+@pytest.fixture(scope="module")
+def scale_setup():
+    alloc = BufferAllocator()
+    src = alloc.new_image("src", 512, 512)  # 1 MB: half the 2 MB L2
+    out = alloc.new_image("out", 512, 512)
+    kernel = ScaleKernel(src, out, 2.0)
+    profiler = KernelProfiler()
+    return kernel, profiler
+
+
+class TestKernelProfiler:
+    def test_profile_measures_all_default_combos(self, scale_setup):
+        kernel, profiler = scale_setup
+        profile = profiler.profile(kernel)
+        combos = profile.combos()
+        assert EMPTY_COMBO in combos
+        assert frozenset({"src"}) in combos
+        ladder = grid_ladder(kernel.num_blocks)
+        assert profile.grid_sizes(EMPTY_COMBO) == ladder
+
+    def test_profile_is_memoized(self, scale_setup):
+        kernel, profiler = scale_setup
+        assert profiler.profile(kernel) is profiler.profile(kernel)
+
+    def test_warm_combo_is_faster(self, scale_setup):
+        kernel, profiler = scale_setup
+        profile = profiler.profile(kernel)
+        grid = kernel.num_blocks
+        spec = profiler.spec
+        dram = profiler.sim.dram
+        cold = profile.table_at(EMPTY_COMBO, spec, dram, NOMINAL)
+        warm = profile.table_at(frozenset({"src"}), spec, dram, NOMINAL)
+        # At a grid where the input fits the L2 the warm run wins.
+        small = grid_ladder(grid)[2]
+        assert warm.query(small) < cold.query(small)
+
+    def test_tables_monotone_in_grid(self, scale_setup):
+        kernel, profiler = scale_setup
+        profile = profiler.profile(kernel)
+        table = profile.table_at(
+            EMPTY_COMBO, profiler.spec, profiler.sim.dram, NOMINAL
+        )
+        points = table.points
+        times = [t for _, t in points]
+        assert times == sorted(times)
+
+    def test_saved_time_positive_for_memory_bound_kernel(self, scale_setup):
+        kernel, profiler = scale_setup
+        saved = profiler.saved_time(kernel, "src", NOMINAL)
+        assert saved > 0.0
+
+    def test_saved_time_scales_with_memory_slowdown(self, scale_setup):
+        kernel, profiler = scale_setup
+        fast = profiler.saved_time(kernel, "src", FrequencyConfig(1324, 5010))
+        slow = profiler.saved_time(kernel, "src", FrequencyConfig(1324, 800))
+        assert slow > fast
+
+    def test_saved_time_unknown_buffer(self, scale_setup):
+        kernel, profiler = scale_setup
+        with pytest.raises(ConfigurationError):
+            profiler.saved_time(kernel, "nope", NOMINAL)
+
+    def test_lazy_tables_match_profiled(self, scale_setup):
+        kernel, profiler = scale_setup
+        lazy = LazyPerfTables(profiler, NOMINAL)
+        grid = kernel.num_blocks
+        direct = profiler.profile(kernel).table_at(
+            EMPTY_COMBO, profiler.spec, profiler.sim.dram, NOMINAL
+        )
+        assert lazy.time(kernel, EMPTY_COMBO, grid) == pytest.approx(
+            direct.query(grid)
+        )
+
+    def test_lazy_tables_profile_new_combo_on_demand(self, scale_setup):
+        kernel, profiler = scale_setup
+        lazy = LazyPerfTables(profiler, NOMINAL)
+        value = lazy.time(kernel, frozenset({"src"}), 8)
+        assert value > 0.0
+
+
+class TestEdgeWeights:
+    def test_pipeline_weights(self, pipeline_app):
+        profiler = KernelProfiler()
+        weights = compute_edge_weights(pipeline_app.graph, profiler, NOMINAL)
+        graph = pipeline_app.graph
+        by_buffer = {
+            e.buffer.name: weights.weight(e) for e in graph.data_edges()
+        }
+        # Consumers of device-produced data are cache-sensitive...
+        assert by_buffer["gray"] > 0.0
+        assert by_buffer["rgba"] > 0.0
+        # ...but the DtH copy node is non-tileable: weight forced to 0.
+        assert by_buffer["half"] == 0.0
+
+    def test_non_tileable_flags(self, pipeline_app):
+        graph = pipeline_app.graph
+        assert not node_is_tileable(graph.node_by_name("HtD.rgba"))
+        assert node_is_tileable(graph.node_by_name("A.grayscale"))
+
+    def test_warp_is_input_dependent_hence_untileable(self):
+        from repro.apps import build_hsopticalflow
+
+        app = build_hsopticalflow(frame_size=64, levels=2, jacobi_iters=2)
+        wp = app.graph.node_by_name("WP.l1")
+        assert not node_is_tileable(wp)
+
+    def test_select_candidates_sorted_and_thresholded(self, pipeline_app):
+        profiler = KernelProfiler()
+        weights = compute_edge_weights(pipeline_app.graph, profiler, NOMINAL)
+        candidates = select_candidates(pipeline_app.graph, weights, 0.0)
+        values = [weights.weight(e) for e in candidates]
+        assert values == sorted(values, reverse=True)
+        assert all(v > 0.0 for v in values)
+        high = select_candidates(pipeline_app.graph, weights, max(values) + 1)
+        assert high == []
+
+    def test_select_candidates_negative_threshold_rejected(self, pipeline_app):
+        profiler = KernelProfiler()
+        weights = compute_edge_weights(pipeline_app.graph, profiler, NOMINAL)
+        with pytest.raises(ConfigurationError):
+            select_candidates(pipeline_app.graph, weights, -1.0)
+
+    def test_nonzero_count(self, pipeline_app):
+        profiler = KernelProfiler()
+        weights = compute_edge_weights(pipeline_app.graph, profiler, NOMINAL)
+        assert weights.nonzero_count() >= 2

@@ -1,0 +1,135 @@
+"""Tests for the schedule runtime: timing paths and functional paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import Schedule
+from repro.core.subkernel import SubKernel
+from repro.errors import SimulationError
+from repro.gpusim import NOMINAL, FrequencyConfig, GpuSpec
+from repro.runtime import (
+    compare_runs,
+    execute_schedule,
+    graph_buffers,
+    make_arrays,
+    measure_at,
+    run_default_functional,
+    run_functional,
+    schedules_equivalent,
+    tally_schedule,
+)
+
+
+class TestTimingPath:
+    def test_tally_counts_launches(self, diamond_app):
+        sched = Schedule.default(diamond_app.graph)
+        replay = tally_schedule(sched, diamond_app.graph)
+        assert replay.num_launches == len(diamond_app.graph)
+        assert replay.accesses > 0
+        assert 0.0 <= replay.hit_rate <= 1.0
+
+    def test_measure_modes(self, diamond_app):
+        sched = Schedule.default(diamond_app.graph)
+        spec = GpuSpec()
+        replay = tally_schedule(sched, diamond_app.graph, spec)
+        run = measure_at(replay, spec, NOMINAL, launch_gap_us=5.0)
+        assert run.total_us == pytest.approx(
+            run.busy_us + 5.0 * (run.num_launches - 1)
+        )
+
+    def test_execute_schedule_shortcut(self, diamond_app):
+        run = execute_schedule(
+            Schedule.default(diamond_app.graph), diamond_app.graph
+        )
+        assert run.total_us > 0
+        assert run.schedule_name == "default"
+
+    def test_empty_schedule_rejected(self, diamond_app):
+        with pytest.raises(SimulationError):
+            tally_schedule(Schedule([], name="empty"), diamond_app.graph)
+
+    def test_retiming_consistency(self, diamond_app):
+        spec = GpuSpec()
+        sched = Schedule.default(diamond_app.graph)
+        replay = tally_schedule(sched, diamond_app.graph, spec)
+        slow = measure_at(replay, spec, FrequencyConfig(405, 810))
+        fast = measure_at(replay, spec, FrequencyConfig(1324, 5010))
+        assert slow.busy_us > fast.busy_us
+
+    def test_split_schedule_has_more_launches(self, diamond_app):
+        graph = diamond_app.graph
+        subs = []
+        for node in graph:
+            blocks = list(node.kernel.all_block_ids())
+            subs.append(SubKernel(node.node_id, tuple(blocks[:1])))
+            if blocks[1:]:
+                subs.append(SubKernel(node.node_id, tuple(blocks[1:])))
+        split = Schedule(subkernels=subs, name="split")
+        replay = tally_schedule(split, graph)
+        assert replay.num_launches > len(graph)
+
+
+class TestFunctionalPath:
+    def test_graph_buffers_unique(self, jacobi_app):
+        bufs = graph_buffers(jacobi_app.graph)
+        names = [b.name for b in bufs]
+        assert len(names) == len(set(names))
+
+    def test_make_arrays_zeroed(self, diamond_app):
+        arrays = make_arrays(diamond_app.graph)
+        assert set(arrays) == {b.name for b in graph_buffers(diamond_app.graph)}
+        assert all(not a.any() for a in arrays.values())
+
+    def test_make_arrays_stages_host_inputs(self, pipeline_app):
+        payload = pipeline_app.host_inputs()
+        arrays = make_arrays(pipeline_app.graph, payload)
+        assert "rgba__host" in arrays
+        np.testing.assert_array_equal(arrays["rgba__host"], payload["rgba"])
+
+    def test_make_arrays_rejects_unknown_host_input(self, diamond_app):
+        with pytest.raises(SimulationError):
+            make_arrays(diamond_app.graph, {"nope": np.zeros(4)})
+
+    def test_make_arrays_rejects_wrong_size(self, pipeline_app):
+        with pytest.raises(SimulationError):
+            make_arrays(pipeline_app.graph, {"rgba": np.zeros(7)})
+
+    def test_default_functional_diamond(self, diamond_app):
+        arrays = run_default_functional(diamond_app.graph)
+        # init=3.0; left=2x, right=0.5x; sum=7.5.
+        np.testing.assert_allclose(arrays["out"], 7.5)
+
+    def test_run_functional_in_order(self, diamond_app):
+        arrays = make_arrays(diamond_app.graph)
+        run_functional(Schedule.default(diamond_app.graph), diamond_app.graph, arrays)
+        np.testing.assert_allclose(arrays["out"], 7.5)
+
+    def test_compare_runs_detects_difference(self):
+        ref = {"a": np.zeros(4), "b": np.ones(4)}
+        cand = {"a": np.zeros(4), "b": np.full(4, 1.1)}
+        assert compare_runs(ref, cand) == ["b"]
+        assert compare_runs(ref, ref) == []
+
+    def test_compare_runs_missing_buffer(self):
+        assert compare_runs({"a": np.zeros(2)}, {}) == ["a"]
+
+    def test_schedules_equivalent_default(self, pipeline_app):
+        ok, mismatched = schedules_equivalent(
+            pipeline_app.graph,
+            Schedule.default(pipeline_app.graph),
+            pipeline_app.host_inputs(),
+        )
+        assert ok and not mismatched
+
+    def test_schedules_equivalent_catches_broken_schedule(self, jacobi_app):
+        """Reversing the JI chain computes something different."""
+        graph = jacobi_app.graph
+        subs = list(Schedule.default(graph))
+        ji = [s for s in subs if s.label.startswith("JI")]
+        others = [s for s in subs if not s.label.startswith("JI")]
+        broken = Schedule(subkernels=others + ji[::-1], name="broken")
+        ok, mismatched = schedules_equivalent(
+            graph, broken, jacobi_app.host_inputs()
+        )
+        assert not ok
+        assert mismatched

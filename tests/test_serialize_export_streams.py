@@ -1,0 +1,169 @@
+"""Tests for schedule serialization, graph export, and stream pipelining."""
+
+import json
+
+import pytest
+
+from repro.apps import build_jacobi_pingpong, build_pipeline
+from repro.core import KTiler, KTilerConfig
+from repro.core.schedule import Schedule
+from repro.core.serialize import (
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.errors import ScheduleError
+from repro.graph.export import partition_to_dot, schedule_gantt, to_dot
+from repro.gpusim import GpuSpec, NOMINAL
+from repro.runtime import measure_at, tally_schedule
+from repro.runtime.streams import measure_with_streams
+
+
+class TestSerialization:
+    def test_roundtrip_default_schedule(self, pipeline_app):
+        schedule = Schedule.default(pipeline_app.graph)
+        payload = schedule_to_dict(schedule, pipeline_app.graph)
+        loaded = schedule_from_dict(payload, pipeline_app.graph)
+        assert [(s.node_id, s.blocks) for s in loaded] == [
+            (s.node_id, s.blocks) for s in schedule
+        ]
+        assert loaded.name == schedule.name
+
+    def test_roundtrip_tiled_schedule_via_file(self, tmp_path):
+        app = build_pipeline(size=1024)
+        ktiler = KTiler(app.graph, config=KTilerConfig(launch_overhead_us=2.0))
+        plan = ktiler.plan(NOMINAL)
+        path = tmp_path / "schedule.json"
+        save_schedule(plan.schedule, path, app.graph)
+        loaded = load_schedule(path, app.graph)
+        assert [(s.node_id, s.blocks) for s in loaded] == [
+            (s.node_id, s.blocks) for s in plan.schedule
+        ]
+
+    def test_run_length_encoding_is_compact(self, pipeline_app):
+        schedule = Schedule.default(pipeline_app.graph)
+        payload = schedule_to_dict(schedule)
+        for entry in payload["subkernels"]:
+            # Contiguous full-grid sub-kernels encode as a single run.
+            assert len(entry["blocks"]) == 1
+
+    def test_wrong_graph_rejected(self, tmp_path, pipeline_app):
+        schedule = Schedule.default(pipeline_app.graph)
+        path = tmp_path / "schedule.json"
+        save_schedule(schedule, path, pipeline_app.graph)
+        other = build_jacobi_pingpong(iters=3, size=64)
+        with pytest.raises(ScheduleError, match="different application graph"):
+            load_schedule(path, other.graph)
+
+    def test_bad_version_rejected(self, pipeline_app):
+        payload = schedule_to_dict(Schedule.default(pipeline_app.graph))
+        payload["format_version"] = 99
+        with pytest.raises(ScheduleError, match="format version"):
+            schedule_from_dict(payload)
+
+    def test_file_is_valid_json(self, tmp_path, pipeline_app):
+        path = tmp_path / "schedule.json"
+        save_schedule(Schedule.default(pipeline_app.graph), path)
+        with open(path) as fh:
+            assert json.load(fh)["format_version"] == 1
+
+
+class TestDotExport:
+    def test_small_graph_dot(self, diamond_app):
+        dot = to_dot(diamond_app.graph)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        for node in diamond_app.graph:
+            assert f'label="{node.name}"' in dot
+        # Data edges carry buffer labels.
+        assert 'label="src"' in dot
+
+    def test_anti_edges_optional(self, jacobi_app):
+        without = to_dot(jacobi_app.graph, include_anti=False)
+        with_anti = to_dot(jacobi_app.graph, include_anti=True)
+        assert "anti" not in without
+        assert "anti" in with_anti
+
+    def test_non_tileable_nodes_marked(self, pipeline_app):
+        dot = to_dot(pipeline_app.graph)
+        assert "shape=ellipse" in dot  # the HtD/DtH copies
+
+    def test_large_graph_summarized(self):
+        from repro.apps import build_hsopticalflow
+
+        app = build_hsopticalflow(frame_size=256, levels=3, jacobi_iters=200)
+        dot = to_dot(app.graph, max_nodes=100)
+        assert "x200" in dot  # per-kernel-name summary
+        assert dot.count("\n") < 200
+
+    def test_partition_coloring(self, diamond_app):
+        from repro.core.cluster import Partition
+
+        part = Partition.singletons(diamond_app.graph)
+        part = part.merged(1, 2)
+        dot = partition_to_dot(diamond_app.graph, part)
+        assert "fillcolor=" in dot
+
+
+class TestGantt:
+    def test_interleaving_visible(self):
+        app = build_pipeline(size=1024)
+        ktiler = KTiler(app.graph, config=KTilerConfig(launch_overhead_us=2.0))
+        plan = ktiler.plan(NOMINAL)
+        chart = schedule_gantt(plan.schedule, app.graph)
+        assert "A.grayscale" in chart and "B.downscale" in chart
+        assert "|" in chart
+
+    def test_default_schedule_one_mark_per_lane(self, diamond_app):
+        chart = schedule_gantt(Schedule.default(diamond_app.graph), diamond_app.graph)
+        for node in diamond_app.graph:
+            assert node.name in chart
+
+
+class TestStreams:
+    @pytest.fixture(scope="class")
+    def replay(self):
+        app = build_jacobi_pingpong(iters=6, size=256)
+        spec = GpuSpec(l2_bytes=512 * 1024)
+        ktiler = KTiler(app.graph, spec=spec,
+                        config=KTilerConfig(launch_overhead_us=1.0))
+        plan = ktiler.plan(NOMINAL)
+        return spec, tally_schedule(plan.schedule, app.graph, spec)
+
+    def test_streamed_between_blocking_and_no_ig(self, replay):
+        spec, tallies = replay
+        gap = 2.0
+        blocking = measure_at(tallies, spec, NOMINAL, gap)
+        streamed = measure_with_streams(tallies, spec, NOMINAL, gap)
+        assert streamed.busy_us == pytest.approx(blocking.busy_us)
+        assert blocking.busy_us <= streamed.total_us <= blocking.total_us + 1e-9
+
+    def test_zero_gap_fully_hidden(self, replay):
+        spec, tallies = replay
+        streamed = measure_with_streams(tallies, spec, NOMINAL, 0.0)
+        assert streamed.exposed_gap_us == 0.0
+        assert streamed.total_us == pytest.approx(streamed.busy_us)
+
+    def test_long_kernels_hide_the_gap(self, replay):
+        spec, tallies = replay
+        # A gap far below the typical kernel duration disappears.
+        streamed = measure_with_streams(tallies, spec, NOMINAL, 0.1)
+        assert streamed.hidden_gap_fraction > 0.9
+
+    def test_huge_gap_submission_bound(self, replay):
+        spec, tallies = replay
+        gap = 10_000.0
+        streamed = measure_with_streams(tallies, spec, NOMINAL, gap)
+        # Submission dominates: roughly one launch per gap.
+        expected = (streamed.num_launches - 1) * gap
+        assert streamed.total_us >= expected
+        assert streamed.hidden_gap_fraction < 0.1
+
+    def test_exposed_gap_monotone_in_gap(self, replay):
+        spec, tallies = replay
+        exposed = [
+            measure_with_streams(tallies, spec, NOMINAL, g).exposed_gap_us
+            for g in (0.0, 0.5, 1.0, 2.0, 8.0)
+        ]
+        assert exposed == sorted(exposed)

@@ -1,0 +1,100 @@
+"""Unit tests for sub-kernels, partition checking, and schedules."""
+
+import pytest
+
+from repro.analyzer import build_block_graph, run_instrumented
+from repro.core.schedule import Schedule
+from repro.core.subkernel import SubKernel, check_partition
+from repro.errors import ScheduleError
+
+
+class TestSubKernel:
+    def test_basic(self):
+        sub = SubKernel(node_id=3, blocks=(0, 1, 2))
+        assert sub.num_blocks == 3
+        assert sub.keys() == [(3, 0), (3, 1), (3, 2)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ScheduleError):
+            SubKernel(node_id=0, blocks=())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ScheduleError):
+            SubKernel(node_id=0, blocks=(1, 1))
+
+    def test_repr_mentions_label(self):
+        assert "lbl" in repr(SubKernel(0, (0,), label="lbl"))
+
+
+class TestCheckPartition:
+    def test_valid_partition(self):
+        subs = [SubKernel(0, (0, 1)), SubKernel(0, (2, 3)), SubKernel(1, (0,))]
+        check_partition(subs, {0: 4, 1: 1})
+
+    def test_overlap_detected(self):
+        subs = [SubKernel(0, (0, 1)), SubKernel(0, (1, 2))]
+        with pytest.raises(ScheduleError, match="more than one"):
+            check_partition(subs, {0: 3})
+
+    def test_gap_detected(self):
+        subs = [SubKernel(0, (0,))]
+        with pytest.raises(ScheduleError, match="cover"):
+            check_partition(subs, {0: 2})
+
+    def test_unknown_node(self):
+        with pytest.raises(ScheduleError, match="unknown node"):
+            check_partition([SubKernel(5, (0,))], {0: 1})
+
+    def test_out_of_range_blocks(self):
+        with pytest.raises(ScheduleError):
+            check_partition([SubKernel(0, (0, 7))], {0: 2})
+
+
+class TestSchedule:
+    def test_default_schedule(self, diamond_app):
+        sched = Schedule.default(diamond_app.graph)
+        assert sched.num_launches == len(diamond_app.graph)
+        assert sched.split_nodes() == []
+        sched.validate(diamond_app.graph)
+
+    def test_validate_against_block_graph(self, diamond_app):
+        run = run_instrumented(diamond_app.graph)
+        bdg = build_block_graph(run.trace)
+        Schedule.default(diamond_app.graph).validate(diamond_app.graph, bdg)
+
+    def test_reordered_schedule_rejected(self, diamond_app):
+        run = run_instrumented(diamond_app.graph)
+        bdg = build_block_graph(run.trace)
+        subs = list(Schedule.default(diamond_app.graph))
+        reordered = Schedule(subkernels=[subs[-1], *subs[:-1]], name="bad")
+        with pytest.raises(ScheduleError, match="before its dependency"):
+            reordered.validate(diamond_app.graph, bdg)
+
+    def test_split_schedule_valid_when_order_respected(self, diamond_app):
+        """Splitting nodes into halves in topo order stays valid."""
+        run = run_instrumented(diamond_app.graph)
+        bdg = build_block_graph(run.trace)
+        subs = []
+        for node in diamond_app.graph:
+            blocks = list(node.kernel.all_block_ids())
+            half = len(blocks) // 2 or 1
+            subs.append(SubKernel(node.node_id, tuple(blocks[:half])))
+            if blocks[half:]:
+                subs.append(SubKernel(node.node_id, tuple(blocks[half:])))
+        sched = Schedule(subkernels=subs, name="halves")
+        sched.validate(diamond_app.graph, bdg)
+        assert set(sched.split_nodes()) == {n.node_id for n in diamond_app.graph}
+
+    def test_incomplete_schedule_rejected(self, diamond_app):
+        subs = list(Schedule.default(diamond_app.graph))[:-1]
+        with pytest.raises(ScheduleError):
+            Schedule(subkernels=subs).validate(diamond_app.graph)
+
+    def test_launches_per_node(self, diamond_app):
+        sched = Schedule.default(diamond_app.graph)
+        counts = sched.launches_per_node()
+        assert all(c == 1 for c in counts.values())
+
+    def test_summary(self, diamond_app):
+        text = Schedule.default(diamond_app.graph).summary()
+        assert "4 launches" in text
