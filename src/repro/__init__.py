@@ -52,6 +52,7 @@ from repro.gpusim import (
     GpuSpec,
 )
 from repro.graph import Buffer, BufferAllocator, KernelGraph
+from repro.obs import NULL_TRACER, CounterRegistry, NullTracer, Tracer
 
 __version__ = "1.0.0"
 
@@ -80,6 +81,10 @@ __all__ = [
     "build_diamond",
     "build_jacobi_pingpong",
     "build_stencil_chain",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "CounterRegistry",
     "ReproError",
     "ConfigurationError",
     "GraphError",

@@ -11,9 +11,16 @@ Regenerates every evaluation artifact of the paper from the terminal:
     $ ktiler suitability          # section II kernel study
     $ ktiler ablation threshold   # design-knob sweeps
     $ ktiler demo                 # two-kernel quickstart
+    $ ktiler trace                # full observability run (trace + metrics)
 
 Every experiment prints the same rows/series the paper reports; see
 EXPERIMENTS.md for paper-vs-measured values.
+
+Observability: the experiments that simulate launches accept a global
+``--trace out.json`` (Chrome trace-event JSON for Perfetto /
+chrome://tracing) and ``--metrics out.prom`` (Prometheus text; use a
+``.json`` suffix for the JSON dump) flag pair; ``ktiler trace`` runs a
+preset application with tracing forced on and emits both artifacts.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from repro.experiments import (
 )
 from repro.experiments.presets import PAPER_SPEC, SCALED_SPEC
 from repro.gpusim.arch import GpuSpec, spec_with_l2
+from repro.obs import NULL_TRACER, Tracer, write_chrome_trace, write_metrics
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -44,6 +52,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="override the simulated L2 size in KiB",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON (load in ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write collected metrics (Prometheus text; .json for JSON)",
+    )
 
 
 def _resolve_spec(base: GpuSpec, args: argparse.Namespace) -> GpuSpec:
@@ -52,21 +72,56 @@ def _resolve_spec(base: GpuSpec, args: argparse.Namespace) -> GpuSpec:
     return base
 
 
+def _make_tracer(args: argparse.Namespace):
+    """An enabled Tracer when any observability flag asks for one."""
+    if getattr(args, "trace", None) or getattr(args, "metrics", None):
+        return Tracer()
+    return NULL_TRACER
+
+
+def _finish_obs(args: argparse.Namespace, tracer) -> None:
+    """Write the requested observability artifacts, if tracing ran."""
+    if not tracer.enabled:
+        return
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if trace_path:
+        trace = write_chrome_trace(trace_path, tracer)
+        print(
+            f"wrote {len(trace['traceEvents'])} trace events to {trace_path}",
+            file=sys.stderr,
+        )
+    if metrics_path:
+        if metrics_path.endswith(".json"):
+            write_metrics(tracer.metrics, json_path=metrics_path)
+        else:
+            write_metrics(tracer.metrics, prom_path=metrics_path)
+        print(
+            f"wrote {len(tracer.metrics)} metric families to {metrics_path}",
+            file=sys.stderr,
+        )
+
+
 def _cmd_fig2(args: argparse.Namespace) -> int:
+    tracer = _make_tracer(args)
     result = run_fig2(
-        image_size=args.size, spec=_resolve_spec(PAPER_SPEC, args)
+        image_size=args.size, spec=_resolve_spec(PAPER_SPEC, args), tracer=tracer
     )
     print(result.format_table())
+    _finish_obs(args, tracer)
     return 0
 
 
 def _cmd_fig3(args: argparse.Namespace) -> int:
+    tracer = _make_tracer(args)
     result = run_fig3(
         image_size=args.size,
         spec=_resolve_spec(PAPER_SPEC, args),
         with_split_comparison=not args.no_split,
+        tracer=tracer,
     )
     print(result.format_table())
+    _finish_obs(args, tracer)
     return 0
 
 
@@ -79,20 +134,27 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
+    tracer = _make_tracer(args)
     result = run_fig5(
         frame_size=args.frame_size,
         levels=args.levels,
         jacobi_iters=args.iters,
         spec=_resolve_spec(SCALED_SPEC, args),
         check_functional=args.check_functional,
+        tracer=tracer,
     )
     print(result.format_table())
+    _finish_obs(args, tracer)
     return 0
 
 
 def _cmd_suitability(args: argparse.Namespace) -> int:
-    result = run_suitability(spec=_resolve_spec(PAPER_SPEC, args))
+    tracer = _make_tracer(args)
+    result = run_suitability(
+        spec=_resolve_spec(PAPER_SPEC, args), tracer=tracer
+    )
     print(result.format_table())
+    _finish_obs(args, tracer)
     return 0
 
 
@@ -124,6 +186,64 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     )
     print(f"functionally equivalent: {ok}{mismatched or ''}")
     return 0 if ok else 1
+
+
+#: Preset applications runnable under ``ktiler trace --app <name>``.
+TRACE_APPS = ("hsopticalflow", "pipeline", "jacobi", "diamond", "stencil")
+
+
+def _build_trace_app(args: argparse.Namespace):
+    from repro.apps import build_hsopticalflow, build_pipeline
+    from repro.apps.synthetic import (
+        build_diamond,
+        build_jacobi_pingpong,
+        build_stencil_chain,
+    )
+
+    if args.app == "hsopticalflow":
+        return build_hsopticalflow(
+            frame_size=args.size or 128,
+            levels=args.levels,
+            jacobi_iters=args.iters,
+        )
+    if args.app == "pipeline":
+        return build_pipeline(size=args.size or 256)
+    if args.app == "jacobi":
+        return build_jacobi_pingpong(iters=args.iters, size=args.size or 256)
+    if args.app == "diamond":
+        return build_diamond(size=args.size or 128)
+    return build_stencil_chain(size=args.size or 128)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core import KTiler, KTilerConfig
+    from repro.gpusim import NOMINAL
+    from repro.runtime import compare_default_vs_ktiler
+
+    # The whole point of this subcommand is the artifacts, so tracing
+    # is always on and both paths have defaults.
+    args.trace = args.trace or "trace.json"
+    args.metrics = args.metrics or "metrics.prom"
+    tracer = Tracer()
+    app = _build_trace_app(args)
+    spec = _resolve_spec(SCALED_SPEC, args)
+    print(app.graph.summary())
+    ktiler = KTiler(
+        app.graph,
+        spec=spec,
+        config=KTilerConfig(launch_overhead_us=spec.launch_gap_us),
+        tracer=tracer,
+    )
+    report = compare_default_vs_ktiler(ktiler, [NOMINAL])
+    print(report.format_table())
+    stats = ktiler.plan(NOMINAL).stats
+    print(
+        f"scheduler: {stats.adopted_merges} merges adopted, "
+        f"{stats.rejected_merges} rejected, "
+        f"{stats.invalid_partitions} invalid partitions"
+    )
+    _finish_obs(args, tracer)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -171,6 +291,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("demo", help="two-kernel quickstart (Figure 1)")
     p.add_argument("--size", type=int, default=1024, help="image side")
     p.set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a preset app fully traced; emit Chrome trace + metrics",
+    )
+    p.add_argument("--app", choices=TRACE_APPS, default="hsopticalflow")
+    p.add_argument("--size", type=int, default=None,
+                   help="image/frame side (preset-specific default)")
+    p.add_argument("--levels", type=int, default=2,
+                   help="pyramid levels (hsopticalflow)")
+    p.add_argument("--iters", type=int, default=5,
+                   help="Jacobi iterations (hsopticalflow, jacobi)")
+    _add_common(p)
+    p.set_defaults(func=_cmd_trace)
 
     return parser
 

@@ -33,6 +33,7 @@ from repro.core.weights import EdgeWeights, select_candidates
 from repro.errors import TilingError
 from repro.graph.block_graph import BlockDependencyGraph
 from repro.graph.kernel_graph import KernelGraph
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -88,6 +89,7 @@ def application_tile(
     launch_overhead_us: float = 0.0,
     include_anti: bool = True,
     max_cluster_nodes: Optional[int] = None,
+    tracer=NULL_TRACER,
 ) -> TilingResult:
     """Algorithm 1.
 
@@ -96,6 +98,12 @@ def application_tile(
     ``max_cluster_nodes`` caps cluster growth — an extension beyond the
     paper that bounds scheduling time on very deep graphs (``None``
     reproduces the paper exactly).
+
+    With tracing enabled, every merge decision is emitted as a
+    ``sched.merge`` instant event carrying the candidate edge, its
+    weight, the cost delta the cost model saw, and the verdict
+    (``adopted`` / ``rejected`` / ``invalid``); run totals land in
+    ``tracer.metrics`` under ``sched.*``.
     """
     for node in graph:
         if node.node_id not in default_times_us:
@@ -113,6 +121,7 @@ def application_tile(
     candidates = select_candidates(graph, weights, threshold_us)
     stats.candidate_edges = len(candidates)
     tiling_memo: Dict[FrozenSet[int], Optional[ClusterTiling]] = {}
+    trace_on = tracer.enabled
 
     index = 0
     while index < len(candidates):
@@ -133,6 +142,17 @@ def application_tile(
         if oversized or not partition.can_merge(cluster_a, cluster_b):
             # Invalid partition: try the next edge, keep this one.
             stats.invalid_partitions += 1
+            if trace_on:
+                tracer.instant(
+                    "sched.merge",
+                    cat="scheduler",
+                    decision="invalid",
+                    src=edge.src,
+                    dst=edge.dst,
+                    weight_us=round(weights.weight(edge), 3),
+                    oversized=oversized,
+                    **partition.merge_preview(cluster_a, cluster_b),
+                )
             index += 1
             continue
         merged_nodes = partition.members(cluster_a) | partition.members(cluster_b)
@@ -148,12 +168,32 @@ def application_tile(
                 cache_bytes,
                 launch_overhead_us=launch_overhead_us,
                 include_anti=include_anti,
+                tracer=tracer,
             )
             tiling_memo[merged_nodes] = tiling
         else:
             stats.tiling_cache_hits += 1
         combined = tilings[cluster_a].cost_us + tilings[cluster_b].cost_us
-        if tiling is not None and tiling.cost_us < combined:
+        adopt = tiling is not None and tiling.cost_us < combined
+        if trace_on:
+            tracer.instant(
+                "sched.merge",
+                cat="scheduler",
+                decision="adopted" if adopt else "rejected",
+                src=edge.src,
+                dst=edge.dst,
+                weight_us=round(weights.weight(edge), 3),
+                combined_cost_us=round(combined, 3),
+                tiled_cost_us=(
+                    None if tiling is None else round(tiling.cost_us, 3)
+                ),
+                cost_delta_us=(
+                    None if tiling is None else round(combined - tiling.cost_us, 3)
+                ),
+                untileable=tiling is None,
+                **partition.merge_preview(cluster_a, cluster_b),
+            )
+        if adopt:
             partition = partition.merged(cluster_a, cluster_b)
             new_id = min(cluster_a, cluster_b)
             dead_id = max(cluster_a, cluster_b)
@@ -164,6 +204,17 @@ def application_tile(
             stats.rejected_merges += 1
         candidates.pop(index)
         index = 0
+
+    if trace_on:
+        m = tracer.metrics
+        m.inc("sched.candidate_edges", stats.candidate_edges)
+        m.inc("sched.merge_attempts", stats.merge_attempts)
+        m.inc("sched.merges_adopted", stats.adopted_merges)
+        m.inc("sched.merges_rejected", stats.rejected_merges)
+        m.inc("sched.invalid_partitions", stats.invalid_partitions)
+        m.inc("sched.tilings_evaluated", stats.tilings_evaluated)
+        m.inc("sched.tiling_cache_hits", stats.tiling_cache_hits)
+        m.set_gauge("sched.clusters", len(partition))
 
     # Assemble the schedule: cluster topological order, then each
     # cluster's tiling sequence.

@@ -117,6 +117,23 @@ class Partition:
                     frontier.append(nxt)
         return False
 
+    def merge_preview(self, cluster_a: int, cluster_b: int) -> Dict[str, int]:
+        """Structured description of a prospective merge.
+
+        The payload Algorithm 1 attaches to its merge-decision trace
+        events: member counts and quotient degrees of both clusters, so
+        a trace viewer can see *what* was being merged without
+        replaying the partition state.
+        """
+        return {
+            "cluster_a": cluster_a,
+            "cluster_b": cluster_b,
+            "size_a": len(self.members(cluster_a)),
+            "size_b": len(self.members(cluster_b)),
+            "out_degree_a": len(self._qadj[cluster_a]),
+            "out_degree_b": len(self._qadj[cluster_b]),
+        }
+
     def merged(self, cluster_a: int, cluster_b: int) -> "Partition":
         """A new partition with the two clusters merged.
 

@@ -35,6 +35,7 @@ from repro.errors import TilingError
 from repro.gpusim.trace import BlockKey
 from repro.graph.block_graph import BlockDependencyGraph
 from repro.graph.kernel_graph import KernelGraph
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -84,8 +85,16 @@ def cluster_tile(
     cache_bytes: int,
     launch_overhead_us: float = 0.0,
     include_anti: bool = True,
+    tracer=NULL_TRACER,
 ) -> Optional[ClusterTiling]:
-    """Algorithm 2.  Returns None when the cluster cannot be tiled."""
+    """Algorithm 2.  Returns None when the cluster cannot be tiled.
+
+    With tracing enabled, every frozen tiling round emits a
+    ``tile.round`` instant event recording how full the round grew
+    before freezing (footprint bytes vs. the L2 budget) and how many
+    blocks/sub-kernels it gathered; totals accumulate under
+    ``tile.*`` in ``tracer.metrics``.
+    """
     node_set: Set[int] = set(cluster_nodes)
     if not node_set:
         raise TilingError("cannot tile an empty cluster")
@@ -164,11 +173,31 @@ def cluster_tile(
                     queue.append(consumer)
         return found
 
+    cluster_label = f"c{min(node_set)}"
+
     def flush_round() -> bool:
         """Freeze `current` into sub-kernels; True if anything was frozen."""
         nonlocal cost_us, rounds
         if not current:
             return False
+        if tracer.enabled:
+            footprint = acc.footprint_bytes
+            tracer.instant(
+                "tile.round",
+                cat="tiler",
+                cluster=cluster_label,
+                round=rounds,
+                blocks=len(current),
+                nodes=sum(1 for v in nodes if current_per_node[v]),
+                footprint_bytes=footprint,
+                cache_bytes=cache_bytes,
+                l2_occupancy=round(footprint / cache_bytes, 6),
+            )
+            tracer.metrics.inc("tile.rounds", 1, cluster=cluster_label)
+            tracer.metrics.inc("tile.blocks", len(current), cluster=cluster_label)
+            tracer.metrics.set_gauge(
+                "tile.l2_occupancy", footprint / cache_bytes, cluster=cluster_label
+            )
         for v in nodes:
             blocks = current_per_node[v]
             if not blocks:

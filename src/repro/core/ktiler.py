@@ -38,6 +38,7 @@ from repro.gpusim.executor import GpuSimulator, time_launch
 from repro.gpusim.freq import FrequencyConfig, NOMINAL
 from repro.graph.block_graph import BlockDependencyGraph
 from repro.graph.kernel_graph import KernelGraph
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -69,11 +70,13 @@ class KTiler:
         graph: KernelGraph,
         spec: Optional[GpuSpec] = None,
         config: Optional[KTilerConfig] = None,
+        tracer=NULL_TRACER,
     ):
         graph.validate()
         self.graph = graph
         self.spec = spec if spec is not None else GpuSpec()
         self.config = config if config is not None else KTilerConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.profiler = KernelProfiler(self.spec, self.config.grid_fractions)
         self._run: Optional[InstrumentedRun] = None
         self._block_graph: Optional[BlockDependencyGraph] = None
@@ -86,26 +89,33 @@ class KTiler:
     @property
     def instrumented_run(self) -> InstrumentedRun:
         if self._run is None:
-            self._run = run_instrumented(self.graph, GpuSimulator(self.spec))
+            # The analyzer's simulator stays untraced on purpose: its
+            # cache traffic is analysis input, not a measurement, and
+            # would pollute the sim.* counters.
+            with self.tracer.span("ktiler.instrument", cat="analyzer"):
+                self._run = run_instrumented(self.graph, GpuSimulator(self.spec))
         return self._run
 
     @property
     def block_graph(self) -> BlockDependencyGraph:
         if self._block_graph is None:
-            self._block_graph = build_block_graph(
-                self.instrumented_run.trace, include_anti=self.config.include_anti
-            )
+            with self.tracer.span("ktiler.block_graph", cat="analyzer"):
+                self._block_graph = build_block_graph(
+                    self.instrumented_run.trace,
+                    include_anti=self.config.include_anti,
+                )
         return self._block_graph
 
     @property
     def mem_lines(self) -> BlockMemoryLines:
         if self._mem_lines is None:
-            self._mem_lines = BlockMemoryLines.from_trace(
-                self.instrumented_run.trace,
-                self.graph,
-                self.spec.l2_line_bytes,
-                self.spec.line_shift,
-            )
+            with self.tracer.span("ktiler.mem_lines", cat="analyzer"):
+                self._mem_lines = BlockMemoryLines.from_trace(
+                    self.instrumented_run.trace,
+                    self.graph,
+                    self.spec.l2_line_bytes,
+                    self.spec.line_shift,
+                )
         return self._mem_lines
 
     # ------------------------------------------------------------------
@@ -148,22 +158,24 @@ class KTiler:
             launch_overhead = self.spec.launch_gap_us
         if launch_overhead < 0:
             raise ConfigurationError("launch_overhead_us must be >= 0")
-        result = application_tile(
-            graph=self.graph,
-            block_graph=self.block_graph,
-            mem_lines=self.mem_lines,
-            perf_tables=LazyPerfTables(self.profiler, freq),
-            weights=self.edge_weights(freq),
-            default_times_us=self.default_times(freq),
-            cache_bytes=self.spec.l2_bytes,
-            threshold_us=self.config.threshold_us,
-            launch_overhead_us=launch_overhead,
-            include_anti=self.config.include_anti,
-            max_cluster_nodes=self.config.max_cluster_nodes,
-        )
-        result.schedule.validate(
-            self.graph, self.block_graph, include_anti=self.config.include_anti
-        )
+        with self.tracer.span("ktiler.plan", cat="scheduler", freq=freq.label):
+            result = application_tile(
+                graph=self.graph,
+                block_graph=self.block_graph,
+                mem_lines=self.mem_lines,
+                perf_tables=LazyPerfTables(self.profiler, freq),
+                weights=self.edge_weights(freq),
+                default_times_us=self.default_times(freq),
+                cache_bytes=self.spec.l2_bytes,
+                threshold_us=self.config.threshold_us,
+                launch_overhead_us=launch_overhead,
+                include_anti=self.config.include_anti,
+                max_cluster_nodes=self.config.max_cluster_nodes,
+                tracer=self.tracer,
+            )
+            result.schedule.validate(
+                self.graph, self.block_graph, include_anti=self.config.include_anti
+            )
         self._plans[freq] = result
         return result
 

@@ -25,6 +25,7 @@ from repro.analyzer import build_block_graph, run_instrumented
 from repro.apps.synthetic import build_jacobi_pingpong
 from repro.gpusim import GpuSimulator, GpuSpec, KernelProfile, NOMINAL
 from repro.gpusim.freq import FrequencyConfig
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -75,6 +76,7 @@ def run_fig2(
     spec: Optional[GpuSpec] = None,
     freq: FrequencyConfig = NOMINAL,
     tiling_fraction: int = 32,
+    tracer=NULL_TRACER,
 ) -> Fig2Result:
     """Reproduce the Figure 2 experiment.
 
@@ -89,16 +91,18 @@ def run_fig2(
     consumer = graph.node_by_name("JI.1")
 
     # Block dependencies, for the tiled measurement's producer cone.
-    run = run_instrumented(graph, GpuSimulator(used_spec))
-    block_graph = build_block_graph(run.trace)
+    with tracer.span("fig2.analyze", cat="analyzer"):
+        run = run_instrumented(graph, GpuSimulator(used_spec))
+        block_graph = build_block_graph(run.trace)
 
     # --- default mode: producer full grid, then profile the consumer.
-    sim = GpuSimulator(used_spec, freq)
-    for node in graph:
-        if node.node_id == consumer.node_id:
-            break
-        sim.launch(node.kernel)
-    default_profile = KernelProfile.from_result(sim.launch(consumer.kernel))
+    with tracer.span("fig2.default", cat="experiment"):
+        sim = GpuSimulator(used_spec, freq, tracer=tracer)
+        for node in graph:
+            if node.node_id == consumer.node_id:
+                break
+            sim.launch(node.kernel)
+        default_profile = KernelProfile.from_result(sim.launch(consumer.kernel))
 
     # --- tiled mode: the first 1/32 of the consumer, fed by exactly its
     # producer cone (what a KTILER tiling round would have just run).
@@ -106,13 +110,24 @@ def run_fig2(
     cone = block_graph.transitive_producers(
         [(consumer.node_id, bid) for bid in sub_blocks]
     )
-    sim = GpuSimulator(used_spec, freq)
-    for node in graph:
-        if node.node_id == consumer.node_id:
-            break
-        node_cone = sorted(b for (n, b) in cone if n == node.node_id)
-        if node_cone:
-            sim.launch(node.kernel, node_cone)
-    tiled_profile = KernelProfile.from_result(sim.launch(consumer.kernel, sub_blocks))
+    with tracer.span("fig2.tiled", cat="experiment"):
+        sim = GpuSimulator(used_spec, freq, tracer=tracer)
+        for node in graph:
+            if node.node_id == consumer.node_id:
+                break
+            node_cone = sorted(b for (n, b) in cone if n == node.node_id)
+            if node_cone:
+                sim.launch(node.kernel, node_cone)
+        tiled_profile = KernelProfile.from_result(
+            sim.launch(consumer.kernel, sub_blocks)
+        )
+
+    if tracer.enabled:
+        tracer.metrics.set_gauge(
+            "fig2.l2_hit_rate", default_profile.cache_hit_rate, mode="default"
+        )
+        tracer.metrics.set_gauge(
+            "fig2.l2_hit_rate", tiled_profile.cache_hit_rate, mode="tiled"
+        )
 
     return Fig2Result(default=default_profile, tiled=tiled_profile)

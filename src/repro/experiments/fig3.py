@@ -87,13 +87,14 @@ def _steady_state_tallies(
     warmup: int = 2,
     measure: int = 2,
     launches_fn=None,
+    tracer=None,
 ) -> List[LaunchTally]:
     """Tallies of ping-pong Jacobi launches over a fixed block set."""
     app = build_jacobi_pingpong(iters=2, size=image_size)
     graph = app.graph
     even = graph.node_by_name("JI.0").kernel
     odd = graph.node_by_name("JI.1").kernel
-    sim = GpuSimulator(spec)
+    sim = GpuSimulator(spec, tracer=tracer)
     # Populate the constant fields once (ix/iy/it and the zero inits).
     for node in graph:
         if node.name.startswith("JI"):
@@ -114,12 +115,17 @@ def run_fig3(
     configs: Sequence[FrequencyConfig] = FIG3_CONFIGS,
     grid_sizes: Optional[Sequence[int]] = None,
     with_split_comparison: bool = True,
+    tracer=None,
 ) -> Fig3Result:
     """Reproduce the Figure 3 sweep.
 
     One cache replay per grid size serves every frequency configuration
     (cache behaviour is frequency-independent).
     """
+    from repro.obs.tracer import NULL_TRACER
+
+    if tracer is None:
+        tracer = NULL_TRACER
     used_spec = spec if spec is not None else GpuSpec()
     dram = DramModel.from_spec(used_spec)
     app = build_jacobi_pingpong(iters=2, size=image_size)
@@ -129,13 +135,23 @@ def run_fig3(
     )
     throughput: Dict[FrequencyConfig, List[float]] = {c: [] for c in configs}
     for grid in sizes:
-        tallies = _steady_state_tallies(used_spec, image_size, range(grid))
+        with tracer.span("fig3.grid", cat="experiment", grid=grid):
+            tallies = _steady_state_tallies(
+                used_spec, image_size, range(grid), tracer=tracer
+            )
         for config in configs:
             total_us = sum(
                 time_launch(t, used_spec, dram, config).time_us for t in tallies
             )
             blocks_done = sum(t.num_blocks for t in tallies)
             throughput[config].append(blocks_done / total_us)
+            if tracer.enabled:
+                tracer.metrics.set_gauge(
+                    "fig3.throughput_blocks_per_us",
+                    blocks_done / total_us,
+                    freq=config.label,
+                    grid=grid,
+                )
 
     split: Dict[str, float] = {}
     if with_split_comparison and max_blocks >= 1000 and len(configs) >= 3:

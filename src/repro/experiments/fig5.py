@@ -29,6 +29,7 @@ from repro.experiments.presets import (
 )
 from repro.gpusim import GpuSpec
 from repro.gpusim.freq import FIG5_CONFIGS, FrequencyConfig
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.functional import schedules_equivalent
 from repro.runtime.report import ComparisonReport, compare_default_vs_ktiler
 
@@ -73,8 +74,14 @@ def run_fig5(
     configs: Sequence[FrequencyConfig] = FIG5_CONFIGS,
     threshold_us: float = 0.0,
     check_functional: bool = False,
+    tracer=NULL_TRACER,
 ) -> Fig5Result:
-    """Reproduce the Figure 5 experiment."""
+    """Reproduce the Figure 5 experiment.
+
+    Pass an enabled :class:`repro.obs.Tracer` to capture scheduler
+    decisions, per-launch counters, and the default/tiled timelines of
+    every operating point (``ktiler fig5 --trace out.json``).
+    """
     used_spec = spec if spec is not None else SCALED_SPEC
     app = build_hsopticalflow(
         frame_size=frame_size, levels=levels, jacobi_iters=jacobi_iters
@@ -86,6 +93,7 @@ def run_fig5(
             threshold_us=threshold_us,
             launch_overhead_us=used_spec.launch_gap_us,
         ),
+        tracer=tracer,
     )
     report = compare_default_vs_ktiler(ktiler, configs)
     plan_stats = {freq: ktiler.plan(freq).stats for freq in configs}

@@ -198,11 +198,25 @@ def run_suitability(
     n_1d: int = 4 << 20,
     image_size: int = 1024,
     min_fraction: int = 32,
+    tracer=None,
 ) -> SuitabilityResult:
     """Score the kernel zoo on the paper's three tiling conditions."""
+    from repro.obs.tracer import NULL_TRACER
+
+    if tracer is None:
+        tracer = NULL_TRACER
     used_spec = spec if spec is not None else GpuSpec()
-    rows = [
-        _profile_kernel(kernel, used_spec, freq, min_fraction)
-        for _, kernel in _kernel_zoo(n_1d, image_size)
-    ]
+    rows = []
+    for _, kernel in _kernel_zoo(n_1d, image_size):
+        with tracer.span("suitability.profile", cat="experiment", kernel=kernel.name):
+            row = _profile_kernel(kernel, used_spec, freq, min_fraction)
+        rows.append(row)
+        if tracer.enabled:
+            m = tracer.metrics
+            m.set_gauge(
+                "suitability.hit_rate_gap", row.hit_rate_gap, kernel=row.kernel_name
+            )
+            m.set_gauge(
+                "suitability.tileable", float(row.tileable), kernel=row.kernel_name
+            )
     return SuitabilityResult(rows=rows)

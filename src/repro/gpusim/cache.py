@@ -58,6 +58,31 @@ class CacheStats:
         self.evictions = 0
         self.writes = 0
 
+    def snapshot(self) -> Tuple[int, int, int, int]:
+        """Immutable ``(hits, misses, evictions, writes)`` view.
+
+        Pair with :meth:`delta_since` to attribute cache activity to one
+        launch without any per-access bookkeeping — the replay hot path
+        stays untouched and only two snapshots bracket it.
+        """
+        return (self.hits, self.misses, self.evictions, self.writes)
+
+    def delta_since(self, snapshot: Tuple[int, int, int, int]) -> "CacheStats":
+        """Activity since a :meth:`snapshot`, as a new CacheStats."""
+        return CacheStats(
+            hits=self.hits - snapshot[0],
+            misses=self.misses - snapshot[1],
+            evictions=self.evictions - snapshot[2],
+            writes=self.writes - snapshot[3],
+        )
+
+    def publish(self, metrics, prefix: str = "cache", **labels) -> None:
+        """Push the four counters into an obs registry under ``prefix``."""
+        metrics.inc(f"{prefix}.hits", self.hits, **labels)
+        metrics.inc(f"{prefix}.misses", self.misses, **labels)
+        metrics.inc(f"{prefix}.evictions", self.evictions, **labels)
+        metrics.inc(f"{prefix}.writes", self.writes, **labels)
+
 
 class SetAssocCache:
     """A set-associative cache with LRU replacement over line ids.

@@ -38,6 +38,7 @@ from repro.gpusim.arch import GpuSpec, WARP_SIZE
 from repro.gpusim.cache import SetAssocCache
 from repro.gpusim.dram import DramModel
 from repro.gpusim.freq import FrequencyConfig, NOMINAL
+from repro.obs.tracer import NULL_TRACER
 
 #: Memory-level parallelism per warp: outstanding transactions one warp
 #: can keep in flight (Maxwell allows several pending loads per warp).
@@ -214,12 +215,14 @@ class GpuSimulator:
         self,
         spec: GpuSpec = None,
         freq: FrequencyConfig = NOMINAL,
+        tracer=NULL_TRACER,
     ):
         self.spec = spec if spec is not None else GpuSpec()
         self.freq = freq
         self.dram = DramModel.from_spec(self.spec)
         self.l2 = SetAssocCache.from_spec(self.spec)
         self.launches: List[LaunchResult] = []
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def set_frequency(self, freq: FrequencyConfig) -> None:
         self.freq = freq
@@ -248,6 +251,21 @@ class GpuSimulator:
         tally = self.tally_launch(kernel, block_ids, recorder)
         timing = time_launch(tally, self.spec, self.dram, self.freq)
         result = LaunchResult(tally=tally, timing=timing, freq=self.freq)
+        tracer = self.tracer
+        if tracer.enabled:
+            # Simulated-time span: cursor is the device busy time so far.
+            tracer.sim_span(
+                tally.kernel_name,
+                ts_us=self.total_time_us,
+                dur_us=timing.time_us,
+                cat="launch",
+                blocks=tally.num_blocks,
+                l2_hit_rate=round(tally.hit_rate, 6),
+                bandwidth_bound=timing.bandwidth_bound,
+            )
+            tracer.metrics.inc(
+                "sim.launch.time_us", timing.time_us, kernel=tally.kernel_name
+            )
         self.launches.append(result)
         return result
 
@@ -273,6 +291,8 @@ class GpuSimulator:
         per_sm_hits = [0] * nsms
         per_sm_misses = [0] * nsms
         cache = self.l2
+        tracer = self.tracer
+        stats_before = cache.stats.snapshot() if tracer.enabled else None
         for i, bid in enumerate(blocks):
             sm = i % nsms
             stream = kernel.block_line_stream(bid, line_shift)
@@ -283,6 +303,12 @@ class GpuSimulator:
             per_sm_misses[sm] += misses
             if recorder is not None:
                 recorder.record_block(kernel, bid, line_shift)
+        if stats_before is not None:
+            cache.stats.delta_since(stats_before).publish(
+                tracer.metrics, prefix="sim.cache", kernel=kernel.name
+            )
+            tracer.metrics.inc("sim.launch.count", 1, kernel=kernel.name)
+            tracer.metrics.inc("sim.launch.blocks", num_blocks, kernel=kernel.name)
         return LaunchTally(
             kernel_name=kernel.name,
             num_blocks=num_blocks,

@@ -11,17 +11,24 @@ both views of the same run available.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List
+from typing import Iterator, List, Mapping, Optional
 
 
 @dataclass(frozen=True)
 class TimelineEvent:
-    """One launch on the timeline."""
+    """One launch on the timeline.
+
+    ``meta`` carries optional structured metadata about the launch
+    (kernel name, block count, L2 hit rate, occupancy, ...); the
+    Chrome-trace exporter (:mod:`repro.obs.chrome_trace`) renders it as
+    the event's ``args`` and promotes known keys to counter tracks.
+    """
 
     label: str
     start_us: float
     duration_us: float
     gap_before_us: float
+    meta: Optional[Mapping[str, object]] = None
 
     @property
     def end_us(self) -> float:
@@ -36,8 +43,20 @@ class Timeline:
         self._events: List[TimelineEvent] = []
         self._cursor_us = 0.0
 
-    def add_launch(self, label: str, duration_us: float, gap_us: float = None) -> TimelineEvent:
-        """Append a launch; a gap precedes every launch but the first."""
+    def add_launch(
+        self,
+        label: str,
+        duration_us: float,
+        gap_us: Optional[float] = None,
+        meta: Optional[Mapping[str, object]] = None,
+    ) -> TimelineEvent:
+        """Append a launch; a gap precedes every launch but the first.
+
+        ``gap_us=None`` (the default) falls back to the timeline-wide
+        ``launch_gap_us``; pass an explicit value (``0.0`` included) to
+        override the gap for this launch only.  The first launch never
+        pays a gap regardless.
+        """
         gap = self.launch_gap_us if gap_us is None else gap_us
         gap_before = gap if self._events else 0.0
         event = TimelineEvent(
@@ -45,6 +64,7 @@ class Timeline:
             start_us=self._cursor_us + gap_before,
             duration_us=duration_us,
             gap_before_us=gap_before,
+            meta=meta,
         )
         self._events.append(event)
         self._cursor_us = event.end_us

@@ -1,0 +1,52 @@
+"""Observability: structured tracing, metrics, and Chrome-trace export.
+
+The subsystem has four pieces:
+
+* :mod:`repro.obs.tracer` — span/event API; the zero-overhead
+  :data:`NULL_TRACER` is the default everywhere, so instrumentation is
+  always compiled in but free when disabled;
+* :mod:`repro.obs.counters` — named counter/gauge registry with
+  hierarchical labels (``cache.hits{kernel=jacobi}``);
+* :mod:`repro.obs.chrome_trace` — export simulated timelines and
+  scheduler decisions as Chrome trace-event JSON (Perfetto-loadable);
+* :mod:`repro.obs.report` — JSON and Prometheus-text metric dumps.
+
+Quick start::
+
+    from repro.obs import Tracer, write_chrome_trace, write_metrics
+
+    tracer = Tracer()
+    ktiler = KTiler(app.graph, tracer=tracer)
+    report = compare_default_vs_ktiler(ktiler, [NOMINAL])
+    write_chrome_trace("out.json", tracer)     # load in ui.perfetto.dev
+    write_metrics(tracer.metrics, prom_path="out.prom")
+"""
+
+from repro.obs.chrome_trace import (
+    build_chrome_trace,
+    timeline_trace_events,
+    write_chrome_trace,
+)
+from repro.obs.counters import NULL_REGISTRY, CounterRegistry, NullRegistry
+from repro.obs.report import (
+    metrics_to_json,
+    metrics_to_prometheus,
+    write_metrics,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "CounterRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "build_chrome_trace",
+    "timeline_trace_events",
+    "write_chrome_trace",
+    "metrics_to_json",
+    "metrics_to_prometheus",
+    "write_metrics",
+]

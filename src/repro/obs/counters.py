@@ -1,0 +1,176 @@
+"""Named counter/gauge registry with hierarchical labels.
+
+Metric names are dot-separated hierarchies (``cache.hits``,
+``sched.merge_adopted``); each name holds a family of *samples* keyed
+by a label set (``cache.hits{kernel=jacobi,subkernel=3}``).  The
+registry is the metrics backend of :class:`repro.obs.tracer.Tracer`
+and the input of the exporters in :mod:`repro.obs.report`.
+
+Two metric kinds exist, mirroring Prometheus semantics:
+
+* **counter** — monotone accumulator, updated with :meth:`inc`;
+* **gauge** — last-write-wins value, updated with :meth:`set_gauge`.
+
+Aggregation across labels is a read-side operation (:meth:`total`), so
+the write path stays a single dict update — it runs once per simulated
+launch on the replay hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: A label set, normalized to a sorted tuple of (key, value) pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class CounterRegistry:
+    """A flat registry of counter and gauge families."""
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, Dict[LabelKey, float]] = {}
+        self._kinds: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels: object) -> None:
+        """Add ``value`` to the counter sample ``name{labels}``."""
+        family = self._samples.get(name)
+        if family is None:
+            family = self._samples[name] = {}
+            self._kinds[name] = "counter"
+        key = _label_key(labels)
+        family[key] = family.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set the gauge sample ``name{labels}`` to ``value``."""
+        family = self._samples.get(name)
+        if family is None:
+            family = self._samples[name] = {}
+        self._kinds[name] = "gauge"
+        family[_label_key(labels)] = float(value)
+
+    def clear(self) -> None:
+        self._samples.clear()
+        self._kinds.clear()
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        """All metric names, sorted."""
+        return sorted(self._samples)
+
+    def kind(self, name: str) -> str:
+        """``"counter"`` or ``"gauge"``."""
+        return self._kinds.get(name, "counter")
+
+    def get(self, name: str, **labels: object) -> float:
+        """The sample with exactly these labels (0.0 when absent)."""
+        family = self._samples.get(name)
+        if not family:
+            return 0.0
+        return family.get(_label_key(labels), 0.0)
+
+    def total(self, name: str, **labels: object) -> float:
+        """Sum of all samples of ``name`` whose labels include ``labels``.
+
+        ``total("cache.hits")`` aggregates over every label set;
+        ``total("cache.hits", kernel="jacobi")`` over all samples
+        carrying that kernel label (any sub-kernel, any other labels).
+        """
+        family = self._samples.get(name)
+        if not family:
+            return 0.0
+        if not labels:
+            return sum(family.values())
+        want = dict(_label_key(labels))
+        out = 0.0
+        for key, value in family.items():
+            have = dict(key)
+            if all(have.get(k) == v for k, v in want.items()):
+                out += value
+        return out
+
+    def samples(self, name: str) -> List[Tuple[Dict[str, str], float]]:
+        """All ``(labels, value)`` samples of a family, label-sorted."""
+        family = self._samples.get(name, {})
+        return [(dict(key), value) for key, value in sorted(family.items())]
+
+    def as_dict(self) -> Dict[str, dict]:
+        """JSON-ready view: name -> {kind, samples: [{labels, value}]}."""
+        return {
+            name: {
+                "kind": self.kind(name),
+                "samples": [
+                    {"labels": labels, "value": value}
+                    for labels, value in self.samples(name)
+                ],
+            }
+            for name in self.names()
+        }
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._samples
+
+    def __repr__(self) -> str:
+        n_samples = sum(len(f) for f in self._samples.values())
+        return f"CounterRegistry({len(self._samples)} metrics, {n_samples} samples)"
+
+
+class NullRegistry:
+    """No-op registry: the metrics sink of the ``NullTracer``.
+
+    Every write is discarded at the cost of one method call; reads
+    report emptiness.  A singleton (:data:`NULL_REGISTRY`) is shared by
+    all disabled tracers.
+    """
+
+    __slots__ = ()
+
+    def inc(self, name: str, value: float = 1.0, **labels: object) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+    def names(self) -> List[str]:
+        return []
+
+    def kind(self, name: str) -> str:
+        return "counter"
+
+    def get(self, name: str, **labels: object) -> float:
+        return 0.0
+
+    def total(self, name: str, **labels: object) -> float:
+        return 0.0
+
+    def samples(self, name: str) -> List[Tuple[Dict[str, str], float]]:
+        return []
+
+    def as_dict(self) -> Dict[str, dict]:
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+
+#: Shared no-op registry instance.
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,71 @@
+"""Metric dumps: JSON and Prometheus text exposition.
+
+The JSON form preserves the registry verbatim
+(:meth:`~repro.obs.counters.CounterRegistry.as_dict` plus per-family
+totals); the Prometheus form flattens the dotted metric hierarchy to
+underscore names (``sim.cache.hits`` -> ``sim_cache_hits``) with one
+``# TYPE`` header per family, suitable for ``promtool check metrics``
+or a textfile-collector scrape.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Optional
+
+from repro.obs.counters import CounterRegistry
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    out = _NAME_OK.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def metrics_to_json(registry: CounterRegistry) -> Dict[str, dict]:
+    """JSON-ready dict: every family with its samples and total."""
+    out = registry.as_dict()
+    for name, family in out.items():
+        family["total"] = registry.total(name)
+    return out
+
+
+def metrics_to_prometheus(registry: CounterRegistry) -> str:
+    """Prometheus text-format exposition of every metric family."""
+    lines = []
+    for name in registry.names():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} {registry.kind(name)}")
+        for labels, value in registry.samples(name):
+            if labels:
+                body = ",".join(
+                    f'{_LABEL_OK.sub("_", k)}="{_prom_label_value(v)}"'
+                    for k, v in sorted(labels.items())
+                )
+                lines.append(f"{prom}{{{body}}} {value:g}")
+            else:
+                lines.append(f"{prom} {value:g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(
+    registry: CounterRegistry,
+    prom_path: Optional[str] = None,
+    json_path: Optional[str] = None,
+) -> None:
+    """Write the registry in one or both formats."""
+    if prom_path:
+        with open(prom_path, "w", encoding="utf-8") as fh:
+            fh.write(metrics_to_prometheus(registry))
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(metrics_to_json(registry), fh, indent=2, sort_keys=True)

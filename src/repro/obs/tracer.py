@@ -1,0 +1,237 @@
+"""Span/event tracer with a zero-overhead disabled default.
+
+Two time domains coexist in this reproduction and the tracer keeps
+them apart:
+
+* **wall clock** — how long *our* code takes: scheduler decisions,
+  planning phases, cache replays.  Recorded by :meth:`Tracer.span`
+  (nested durations) and :meth:`Tracer.instant` (point events).
+* **simulated time** — when things happen on the modelled GPU:
+  per-launch spans stamped with the simulator's own microsecond
+  cursor (:meth:`Tracer.sim_span`), plus whole
+  :class:`~repro.gpusim.timeline.Timeline` objects attached via
+  :meth:`Tracer.attach_timeline` for the Chrome-trace exporter.
+
+Instrumented components take a ``tracer`` argument defaulting to
+:data:`NULL_TRACER`.  The null tracer advertises ``enabled = False``
+so hot paths can skip argument marshalling entirely::
+
+    if tracer.enabled:
+        tracer.metrics.inc("cache.hits", hits, kernel=name)
+
+and even unguarded calls cost one no-op method dispatch.  This is what
+keeps the instrumented replay within noise of the uninstrumented one
+(see ``tests/test_obs.py::TestNullTracerOverhead``).
+
+Events are stored as Chrome trace-event dicts (``name``, ``cat``,
+``ph``, ``ts``, ``dur``, ``args``) so the exporter in
+:mod:`repro.obs.chrome_trace` only has to assign process/thread ids.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.counters import NULL_REGISTRY, CounterRegistry
+
+
+class Span:
+    """A wall-clock span; use as a context manager.
+
+    The event is recorded on exit, so an exception inside the span
+    still produces a (closed) event — handy when tracing a scheduler
+    run that dies halfway.
+    """
+
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "_start_us")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._args = args
+        self._start_us = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start_us = self._tracer.now_us()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        tracer.events.append(
+            {
+                "name": self._name,
+                "cat": self._cat,
+                "ph": "X",
+                "ts": self._start_us,
+                "dur": tracer.now_us() - self._start_us,
+                "args": self._args,
+            }
+        )
+        return False
+
+
+class _NullSpan:
+    """Reusable no-op context manager (the NullTracer's span)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects events in memory; export with :mod:`repro.obs.chrome_trace`.
+
+    Attributes
+    ----------
+    metrics:
+        The :class:`~repro.obs.counters.CounterRegistry` instrumented
+        components write their counters/gauges to.
+    events:
+        Wall-clock events (spans and instants), ts in microseconds
+        since the tracer was created.
+    sim_events:
+        Simulated-time events, ts in simulated microseconds.
+    timelines:
+        Named :class:`~repro.gpusim.timeline.Timeline` objects attached
+        by measurement code, exported as one trace process each.
+    """
+
+    enabled = True
+
+    def __init__(self, metrics: Optional[CounterRegistry] = None):
+        self.metrics = metrics if metrics is not None else CounterRegistry()
+        self.events: List[dict] = []
+        self.sim_events: List[dict] = []
+        self.timelines: Dict[str, object] = {}
+        self._t0 = time.perf_counter()
+
+    def now_us(self) -> float:
+        """Wall-clock microseconds since tracer creation."""
+        return (time.perf_counter() - self._t0) * 1e6
+
+    # ------------------------------------------------------------------
+    # Wall-clock domain
+    # ------------------------------------------------------------------
+    def span(self, name: str, cat: str = "app", **args: object) -> Span:
+        """Context manager recording a complete ('X') event."""
+        return Span(self, name, cat, args)
+
+    def instant(self, name: str, cat: str = "app", **args: object) -> None:
+        """Record a point-in-time ('i') event, e.g. a scheduler decision."""
+        self.events.append(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "i",
+                "s": "t",
+                "ts": self.now_us(),
+                "args": args,
+            }
+        )
+
+    def counter(
+        self, name: str, values: Dict[str, float], ts_us: Optional[float] = None
+    ) -> None:
+        """Record a wall-clock counter ('C') sample (one chart track)."""
+        self.events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": self.now_us() if ts_us is None else ts_us,
+                "args": dict(values),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Simulated-time domain
+    # ------------------------------------------------------------------
+    def sim_span(
+        self, name: str, ts_us: float, dur_us: float, cat: str = "sim", **args: object
+    ) -> None:
+        """Record a complete event stamped in simulated microseconds."""
+        self.sim_events.append(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "X",
+                "ts": ts_us,
+                "dur": dur_us,
+                "args": args,
+            }
+        )
+
+    def attach_timeline(self, label: str, timeline: object) -> None:
+        """Register a simulated Timeline for export under ``label``.
+
+        Re-attaching a label replaces the previous timeline.
+        """
+        self.timelines[label] = timeline
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer({len(self.events)} events, {len(self.sim_events)} sim events, "
+            f"{len(self.timelines)} timelines, {len(self.metrics)} metrics)"
+        )
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    ``enabled`` is False so instrumentation sites can guard per-event
+    work; ``metrics`` is the shared no-op registry.  All read-side
+    attributes report emptiness, so export helpers accept a NullTracer
+    without special-casing.
+    """
+
+    enabled = False
+    metrics = NULL_REGISTRY
+
+    def now_us(self) -> float:
+        return 0.0
+
+    def span(self, name: str, cat: str = "app", **args: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def instant(self, name: str, cat: str = "app", **args: object) -> None:
+        pass
+
+    def counter(
+        self, name: str, values: Dict[str, float], ts_us: Optional[float] = None
+    ) -> None:
+        pass
+
+    def sim_span(
+        self, name: str, ts_us: float, dur_us: float, cat: str = "sim", **args: object
+    ) -> None:
+        pass
+
+    def attach_timeline(self, label: str, timeline: object) -> None:
+        pass
+
+    @property
+    def events(self) -> List[dict]:
+        return []
+
+    @property
+    def sim_events(self) -> List[dict]:
+        return []
+
+    @property
+    def timelines(self) -> Dict[str, object]:
+        return {}
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+#: Shared disabled tracer: the default of every instrumented component.
+NULL_TRACER = NullTracer()

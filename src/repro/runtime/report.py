@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.ktiler import KTiler
 from repro.core.schedule import Schedule
 from repro.gpusim.freq import FrequencyConfig
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.launcher import ScheduleTallies, measure_at, tally_schedule
 
 
@@ -60,10 +61,16 @@ class ComparisonReport:
 
     @property
     def mean_gain_with_ig(self) -> float:
+        """Mean fractional gain incl. gaps; 0.0 for an empty report."""
+        if not self.rows:
+            return 0.0
         return sum(r.gain_with_ig for r in self.rows) / len(self.rows)
 
     @property
     def mean_gain_without_ig(self) -> float:
+        """Mean fractional gain excl. gaps; 0.0 for an empty report."""
+        if not self.rows:
+            return 0.0
         return sum(r.gain_without_ig for r in self.rows) / len(self.rows)
 
     def format_table(self) -> str:
@@ -83,11 +90,22 @@ def compare_default_vs_ktiler(
     ktiler: KTiler,
     freqs: Sequence[FrequencyConfig],
     launch_gap_us: Optional[float] = None,
+    tracer=None,
 ) -> ComparisonReport:
-    """Run the Figure 5 experiment over the given operating points."""
+    """Run the Figure 5 experiment over the given operating points.
+
+    ``tracer`` defaults to the KTiler's own tracer; with tracing
+    enabled, the default and tiled timelines of every operating point
+    are attached to the tracer (``default@<freq>`` / ``ktiler@<freq>``)
+    for Chrome-trace export.
+    """
+    if tracer is None:
+        tracer = getattr(ktiler, "tracer", NULL_TRACER)
     graph = ktiler.graph
     spec = ktiler.spec
-    default_replay = tally_schedule(ktiler.default_schedule(), graph, spec)
+    default_replay = tally_schedule(
+        ktiler.default_schedule(), graph, spec, tracer=tracer
+    )
     replay_cache: Dict[Tuple, ScheduleTallies] = {}
     rows: List[ComparisonRow] = []
     for freq in freqs:
@@ -95,10 +113,15 @@ def compare_default_vs_ktiler(
         signature = _schedule_signature(plan.schedule)
         replay = replay_cache.get(signature)
         if replay is None:
-            replay = tally_schedule(plan.schedule, graph, spec)
+            replay = tally_schedule(plan.schedule, graph, spec, tracer=tracer)
             replay_cache[signature] = replay
-        default_run = measure_at(default_replay, spec, freq, launch_gap_us)
-        ktiler_run = measure_at(replay, spec, freq, launch_gap_us)
+        default_run = measure_at(
+            default_replay, spec, freq, launch_gap_us, tracer=tracer
+        )
+        ktiler_run = measure_at(replay, spec, freq, launch_gap_us, tracer=tracer)
+        if tracer.enabled:
+            tracer.attach_timeline(f"default@{freq.label}", default_run.timeline)
+            tracer.attach_timeline(f"ktiler@{freq.label}", ktiler_run.timeline)
         rows.append(
             ComparisonRow(
                 freq=freq,

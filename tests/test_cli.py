@@ -13,7 +13,7 @@ class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         for command in ("fig2", "fig3", "fig4", "fig5", "suitability",
-                        "ablation", "demo"):
+                        "ablation", "demo", "trace"):
             args = parser.parse_args(
                 [command] + (["threshold"] if command == "ablation" else [])
             )
@@ -26,6 +26,17 @@ class TestParser:
     def test_l2_override_flag(self):
         args = build_parser().parse_args(["fig5", "--l2-kb", "256"])
         assert args.l2_kb == 256
+
+    def test_observability_flags_on_experiments(self):
+        args = build_parser().parse_args(
+            ["fig2", "--trace", "t.json", "--metrics", "m.prom"]
+        )
+        assert args.trace == "t.json"
+        assert args.metrics == "m.prom"
+
+    def test_trace_app_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--app", "nope"])
 
 
 class TestExecution:
@@ -49,3 +60,26 @@ class TestExecution:
         assert code == 0
         out = capsys.readouterr().out
         assert "average" in out
+
+    def test_trace_writes_artifacts(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "trace", "--app", "pipeline", "--size", "128",
+            "--trace", "out.json", "--metrics", "out.prom",
+        ])
+        assert code == 0
+        trace = json.loads((tmp_path / "out.json").read_text())
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+        prom = (tmp_path / "out.prom").read_text()
+        assert len([l for l in prom.splitlines()
+                    if l.startswith("# TYPE")]) >= 10
+        err = capsys.readouterr().err
+        assert "trace events" in err and "metric families" in err
+
+    def test_trace_default_paths(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "--app", "diamond", "--size", "64"]) == 0
+        assert (tmp_path / "trace.json").exists()
+        assert (tmp_path / "metrics.prom").exists()
