@@ -14,9 +14,43 @@ result is cached for the assertion phase.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under the benchmark timer."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def replay_workload(size: int = 768, repeats: int = 3):
+    """Deterministic production-shaped L2 line stream for the perf guard.
+
+    The concatenated per-block line stream of a real pointwise kernel
+    over a ``size``x``size`` image (several MB against a 2 MB L2),
+    tiled ``repeats`` times so warm re-runs with cross-launch reuse are
+    part of the stream — exactly the stream shape the launch simulator
+    replays.  Fully deterministic, so measured reference/fast ratios
+    are comparable across commits.
+    """
+    from repro.graph.buffers import BufferAllocator
+    from repro.kernels.pointwise import ScaleKernel
+
+    alloc = BufferAllocator()
+    src = alloc.new_image("src", size, size)
+    out = alloc.new_image("out", size, size)
+    kernel = ScaleKernel(src, out, 2.0)
+    lines, writes, _ = kernel.range_line_arrays(range(kernel.num_blocks), 7)
+    return np.tile(lines, repeats), np.tile(writes, repeats)
+
+
+def scattered_workload(n: int = 500_000, seed: int = 20260805):
+    """Adversarial uniform-random stream (worst case for the fast engine).
+
+    Near-uniform line draws maximize the number of replay rounds (the
+    per-set access depth), the fast engine's degenerate regime.  The
+    perf guard reports this ratio but doesn't floor it.
+    """
+    gen = np.random.default_rng(seed)
+    lines = gen.integers(0, 32_768, size=n, dtype=np.int64)
+    return lines, gen.random(n) < 0.3

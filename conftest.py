@@ -1,0 +1,40 @@
+"""Repository-root pytest configuration.
+
+Adds ``--sim-backend`` so the whole suite can be exercised against
+either L2 replay engine (see :mod:`repro.gpusim.fast_cache`).  The
+chosen backend is exported through ``KTILER_SIM_BACKEND`` before any
+test runs, which is the same environment hook the CLI honours, so no
+individual test needs to thread the selection explicitly.
+
+CI runs the tier-1 suite once per backend; both legs must pass with
+identical results because the fast engine is bit-exact by contract.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.gpusim.fast_cache import BACKEND_ENV_VAR, BACKENDS
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sim-backend",
+        choices=BACKENDS,
+        default=None,
+        help="L2 replay engine for every simulator built during the run "
+        f"(sets {BACKEND_ENV_VAR}; default: leave the environment as-is)",
+    )
+
+
+def pytest_configure(config):
+    backend = config.getoption("--sim-backend")
+    if backend is not None:
+        os.environ[BACKEND_ENV_VAR] = backend
+
+
+def pytest_report_header(config):
+    backend = os.environ.get(BACKEND_ENV_VAR)
+    if backend:
+        return f"sim backend: {backend} ({BACKEND_ENV_VAR})"
+    return "sim backend: per-call defaults (reference core, fast experiments)"

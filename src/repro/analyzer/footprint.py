@@ -98,12 +98,10 @@ class FootprintAccumulator:
         Returns False — with no state change — when the batch would
         overflow the cache budget.
         """
-        new_lines: set = set()
         current = self._lines
-        for key in keys:
-            for line in self.table.lines_of(key):
-                if line not in current:
-                    new_lines.add(line)
+        lines_of = self.table.lines_of
+        new_lines = set().union(*map(lines_of, keys))
+        new_lines -= current
         if len(current) + len(new_lines) > self.budget_lines:
             return False
         current |= new_lines

@@ -42,6 +42,7 @@ from repro.experiments import (
 )
 from repro.experiments.presets import PAPER_SPEC, SCALED_SPEC
 from repro.gpusim.arch import GpuSpec, spec_with_l2
+from repro.gpusim.fast_cache import BACKEND_ENV_VAR, BACKENDS
 from repro.obs import NULL_TRACER, Tracer, write_chrome_trace, write_metrics
 
 
@@ -51,6 +52,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="override the simulated L2 size in KiB",
+    )
+    parser.add_argument(
+        "--sim-backend",
+        choices=BACKENDS,
+        default=None,
+        help=(
+            "L2 replay engine: 'reference' (list-based oracle) or 'fast' "
+            f"(vectorized, bit-identical); default from ${BACKEND_ENV_VAR} "
+            "or the experiment's own default"
+        ),
     )
     parser.add_argument(
         "--trace",
@@ -102,10 +113,17 @@ def _finish_obs(args: argparse.Namespace, tracer) -> None:
         )
 
 
+def _backend(args: argparse.Namespace) -> Optional[str]:
+    return getattr(args, "sim_backend", None)
+
+
 def _cmd_fig2(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     result = run_fig2(
-        image_size=args.size, spec=_resolve_spec(PAPER_SPEC, args), tracer=tracer
+        image_size=args.size,
+        spec=_resolve_spec(PAPER_SPEC, args),
+        tracer=tracer,
+        backend=_backend(args),
     )
     print(result.format_table())
     _finish_obs(args, tracer)
@@ -119,6 +137,7 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
         spec=_resolve_spec(PAPER_SPEC, args),
         with_split_comparison=not args.no_split,
         tracer=tracer,
+        backend=_backend(args),
     )
     print(result.format_table())
     _finish_obs(args, tracer)
@@ -142,6 +161,7 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
         spec=_resolve_spec(SCALED_SPEC, args),
         check_functional=args.check_functional,
         tracer=tracer,
+        backend=_backend(args),
     )
     print(result.format_table())
     _finish_obs(args, tracer)
@@ -151,7 +171,8 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
 def _cmd_suitability(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     result = run_suitability(
-        spec=_resolve_spec(PAPER_SPEC, args), tracer=tracer
+        spec=_resolve_spec(PAPER_SPEC, args), tracer=tracer,
+        backend=_backend(args),
     )
     print(result.format_table())
     _finish_obs(args, tracer)
@@ -164,7 +185,7 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         "cache": cache_sweep,
         "gap": gap_sweep,
     }
-    print(sweeps[args.knob]().format_table())
+    print(sweeps[args.knob](backend=_backend(args)).format_table())
     return 0
 
 
@@ -176,7 +197,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
     app = build_pipeline(size=args.size)
     print(app.graph.summary())
-    ktiler = KTiler(app.graph, config=KTilerConfig(launch_overhead_us=2.0))
+    ktiler = KTiler(
+        app.graph,
+        config=KTilerConfig(launch_overhead_us=2.0),
+        backend=_backend(args),
+    )
     plan = ktiler.plan(NOMINAL)
     print(plan.schedule.summary())
     report = compare_default_vs_ktiler(ktiler, [NOMINAL], launch_gap_us=2.0)
@@ -233,6 +258,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         spec=spec,
         config=KTilerConfig(launch_overhead_us=spec.launch_gap_us),
         tracer=tracer,
+        backend=_backend(args),
     )
     report = compare_default_vs_ktiler(ktiler, [NOMINAL])
     print(report.format_table())
@@ -286,10 +312,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("ablation", help="design-knob sweeps")
     p.add_argument("knob", choices=("threshold", "cache", "gap"))
+    p.add_argument("--sim-backend", choices=BACKENDS, default=None,
+                   help="L2 replay engine (reference|fast)")
     p.set_defaults(func=_cmd_ablation)
 
     p = sub.add_parser("demo", help="two-kernel quickstart (Figure 1)")
     p.add_argument("--size", type=int, default=1024, help="image side")
+    p.add_argument("--sim-backend", choices=BACKENDS, default=None,
+                   help="L2 replay engine (reference|fast)")
     p.set_defaults(func=_cmd_demo)
 
     p = sub.add_parser(

@@ -144,12 +144,49 @@ def cluster_tile(
                 ):
                     continue
                 staged.add(pred)
+                note_covered(pred)
                 found.append(pred)
                 stack.append(pred)
         return found
 
     def covered(key: BlockKey, staged: Set[BlockKey]) -> bool:
         return key in assigned or key in current or key in staged
+
+    # Incremental readiness: per-block count of in-cluster predecessors
+    # not yet covered, initialized lazily on first query and kept in
+    # sync as coverage grows (every batch append) and shrinks (a batch
+    # dropped by the cache constraint).  Replaces the O(preds) rescan
+    # FindMoreBlks used to pay per candidate per round.
+    missing: Dict[BlockKey, int] = {}
+
+    def successors_of(key: BlockKey) -> Iterable[BlockKey]:
+        if include_anti:
+            return block_graph.consumers(key) + block_graph.anti_consumers(key)
+        return block_graph.consumers(key)
+
+    def missing_count(key: BlockKey, staged: Set[BlockKey]) -> int:
+        count = missing.get(key)
+        if count is None:
+            preds = (
+                block_graph.all_predecessors(key)
+                if include_anti
+                else block_graph.producers(key)
+            )
+            count = sum(
+                1 for p in preds if p[0] in node_set and not covered(p, staged)
+            )
+            missing[key] = count
+        return count
+
+    def note_covered(key: BlockKey) -> None:
+        for succ in successors_of(key):
+            if succ in missing:
+                missing[succ] -= 1
+
+    def note_uncovered(key: BlockKey) -> None:
+        for succ in successors_of(key):
+            if succ in missing:
+                missing[succ] += 1
 
     def find_ready(seeds: Sequence[BlockKey], staged: Set[BlockKey]) -> List[BlockKey]:
         """FindMoreBlks: blocks whose in-cluster deps are all covered."""
@@ -160,15 +197,9 @@ def cluster_tile(
             for consumer in block_graph.consumers(key):
                 if consumer[0] not in node_set or covered(consumer, staged):
                     continue
-                preds = (
-                    block_graph.all_predecessors(consumer)
-                    if include_anti
-                    else block_graph.producers(consumer)
-                )
-                if all(
-                    p[0] not in node_set or covered(p, staged) for p in preds
-                ):
+                if missing_count(consumer, staged) == 0:
                     staged.add(consumer)
+                    note_covered(consumer)
                     found.append(consumer)
                     queue.append(consumer)
         return found
@@ -228,6 +259,7 @@ def cluster_tile(
             if bid is not None:
                 key = (v, bid)
                 staged.add(key)
+                note_covered(key)
                 batch.append(key)
         if not batch:
             # Sinks exhausted; pick up stragglers from inner nodes so the
@@ -237,6 +269,7 @@ def cluster_tile(
                 if bid is not None:
                     key = (v, bid)
                     staged.add(key)
+                    note_covered(key)
                     batch.append(key)
                     break
         if not batch:
@@ -257,6 +290,8 @@ def cluster_tile(
                 return None
             # The failed batch is dropped; its blocks are still
             # unassigned and will be re-gathered next iteration.
+            for key in batch:
+                note_uncovered(key)
             for v in node_set:
                 cursors[v] = 0
 

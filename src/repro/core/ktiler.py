@@ -35,6 +35,7 @@ from repro.errors import ConfigurationError
 from repro.gpusim.arch import GpuSpec
 from repro.gpusim.dram import DramModel
 from repro.gpusim.executor import GpuSimulator, time_launch
+from repro.gpusim.fast_cache import resolve_backend
 from repro.gpusim.freq import FrequencyConfig, NOMINAL
 from repro.graph.block_graph import BlockDependencyGraph
 from repro.graph.kernel_graph import KernelGraph
@@ -71,13 +72,17 @@ class KTiler:
         spec: Optional[GpuSpec] = None,
         config: Optional[KTilerConfig] = None,
         tracer=NULL_TRACER,
+        backend: Optional[str] = None,
     ):
         graph.validate()
         self.graph = graph
         self.spec = spec if spec is not None else GpuSpec()
         self.config = config if config is not None else KTilerConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.profiler = KernelProfiler(self.spec, self.config.grid_fractions)
+        self.backend = resolve_backend(backend)
+        self.profiler = KernelProfiler(
+            self.spec, self.config.grid_fractions, backend=self.backend
+        )
         self._run: Optional[InstrumentedRun] = None
         self._block_graph: Optional[BlockDependencyGraph] = None
         self._mem_lines: Optional[BlockMemoryLines] = None
@@ -93,7 +98,9 @@ class KTiler:
             # cache traffic is analysis input, not a measurement, and
             # would pollute the sim.* counters.
             with self.tracer.span("ktiler.instrument", cat="analyzer"):
-                self._run = run_instrumented(self.graph, GpuSimulator(self.spec))
+                self._run = run_instrumented(
+                    self.graph, GpuSimulator(self.spec, backend=self.backend)
+                )
         return self._run
 
     @property

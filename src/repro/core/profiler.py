@@ -50,13 +50,19 @@ def grid_ladder(num_blocks: int, fractions: Sequence[float] = DEFAULT_GRID_FRACT
 
 def _read_lines_from(kernel: KernelSpec, blocks: Iterable[int], combo: InputCombo,
                      line_shift: int) -> Set[int]:
-    """Lines the given blocks read from the combo's buffers."""
+    """Lines the given blocks read from the combo's buffers.
+
+    Uses the kernels' memoized read-range triples so repeated probes
+    (one per combo x grid-ladder point) cost C-speed ``set.update``
+    calls instead of re-enumerating AccessRange objects.  Insertion
+    order matches the access-range program order exactly, so the LRU
+    state produced by warming the cache with this set is unchanged.
+    """
     lines: Set[int] = set()
     for bid in blocks:
-        bx, by = kernel.block_coords(bid)
-        for rng in kernel.block_accesses(bx, by):
-            if rng.kind.reads and getattr(rng.buffer, "name", None) in combo:
-                lines.update(rng.lines(line_shift))
+        for name, start, stop in kernel.block_read_line_ranges(bid, line_shift):
+            if name in combo:
+                lines.update(range(start, stop))
     return lines
 
 
@@ -90,8 +96,9 @@ class KernelProfiler:
         self,
         spec: Optional[GpuSpec] = None,
         grid_fractions: Sequence[float] = DEFAULT_GRID_FRACTIONS,
+        backend: Optional[str] = None,
     ):
-        self.sim = GpuSimulator(spec)
+        self.sim = GpuSimulator(spec, backend=backend)
         self.grid_fractions = tuple(grid_fractions)
         self._profiles: Dict[KernelSpec, ProfiledKernel] = {}
         self._weight_grids: Dict[Tuple[KernelSpec, str], int] = {}

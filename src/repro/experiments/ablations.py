@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence
 from repro.apps.synthetic import build_jacobi_pingpong
 from repro.core.ktiler import KTiler, KTilerConfig
 from repro.gpusim import GpuSpec
+from repro.gpusim.fast_cache import resolve_backend
 from repro.gpusim.freq import FrequencyConfig, NOMINAL
 from repro.graph.kernel_graph import KernelGraph
 from repro.runtime.launcher import measure_at, tally_schedule
@@ -69,14 +70,19 @@ def _measure(
     freq: FrequencyConfig,
     config: KTilerConfig,
     gap_us: float,
+    backend: Optional[str] = None,
 ) -> AblationRow:
-    ktiler = KTiler(graph, spec=spec, config=config)
+    ktiler = KTiler(graph, spec=spec, config=config, backend=backend)
     plan = ktiler.plan(freq)
     default_run = measure_at(
-        tally_schedule(ktiler.default_schedule(), graph, spec), spec, freq, gap_us
+        tally_schedule(
+            ktiler.default_schedule(), graph, spec, backend=backend
+        ),
+        spec, freq, gap_us,
     )
     tiled_run = measure_at(
-        tally_schedule(plan.schedule, graph, spec), spec, freq, gap_us
+        tally_schedule(plan.schedule, graph, spec, backend=backend),
+        spec, freq, gap_us,
     )
     return AblationRow(
         parameter=0.0,
@@ -92,13 +98,15 @@ def threshold_sweep(
     spec: Optional[GpuSpec] = None,
     freq: FrequencyConfig = NOMINAL,
     gap_us: float = 1.0,
+    backend: Optional[str] = None,
 ) -> AblationResult:
+    backend = resolve_backend(backend, default="fast")
     used_spec = spec if spec is not None else GpuSpec(l2_bytes=512 * 1024)
     graph = _default_app()
     rows = []
     for threshold in thresholds:
         config = KTilerConfig(threshold_us=threshold, launch_overhead_us=gap_us)
-        row = _measure(graph, used_spec, freq, config, gap_us)
+        row = _measure(graph, used_spec, freq, config, gap_us, backend)
         rows.append(replace(row, parameter=threshold))
     return AblationResult(name="threshold_us", rows=rows)
 
@@ -109,13 +117,15 @@ def cache_sweep(
     ),
     freq: FrequencyConfig = NOMINAL,
     gap_us: float = 1.0,
+    backend: Optional[str] = None,
 ) -> AblationResult:
+    backend = resolve_backend(backend, default="fast")
     graph = _default_app()
     rows = []
     for l2_bytes in l2_sizes:
         spec = GpuSpec(l2_bytes=l2_bytes)
         config = KTilerConfig(launch_overhead_us=gap_us)
-        row = _measure(graph, spec, freq, config, gap_us)
+        row = _measure(graph, spec, freq, config, gap_us, backend)
         rows.append(replace(row, parameter=l2_bytes / 1024.0))
     return AblationResult(name="l2_kb", rows=rows)
 
@@ -124,12 +134,14 @@ def gap_sweep(
     gaps_us: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0),
     spec: Optional[GpuSpec] = None,
     freq: FrequencyConfig = NOMINAL,
+    backend: Optional[str] = None,
 ) -> AblationResult:
+    backend = resolve_backend(backend, default="fast")
     used_spec = spec if spec is not None else GpuSpec(l2_bytes=512 * 1024)
     graph = _default_app()
     rows = []
     for gap in gaps_us:
         config = KTilerConfig(launch_overhead_us=gap)
-        row = _measure(graph, used_spec, freq, config, gap)
+        row = _measure(graph, used_spec, freq, config, gap, backend)
         rows.append(replace(row, parameter=gap))
     return AblationResult(name="gap_us", rows=rows)

@@ -24,6 +24,7 @@ from typing import List, Optional
 from repro.analyzer import build_block_graph, run_instrumented
 from repro.apps.synthetic import build_jacobi_pingpong
 from repro.gpusim import GpuSimulator, GpuSpec, KernelProfile, NOMINAL
+from repro.gpusim.fast_cache import resolve_backend
 from repro.gpusim.freq import FrequencyConfig
 from repro.obs.tracer import NULL_TRACER
 
@@ -77,14 +78,18 @@ def run_fig2(
     freq: FrequencyConfig = NOMINAL,
     tiling_fraction: int = 32,
     tracer=NULL_TRACER,
+    backend: Optional[str] = None,
 ) -> Fig2Result:
     """Reproduce the Figure 2 experiment.
 
     ``image_size`` controls the Jacobi working set; at 512x512 the
     seven fields total ~7 MB against the default 2 MB L2, the same
-    thrashing regime as the paper's configuration.
+    thrashing regime as the paper's configuration.  ``backend``
+    selects the simulator's L2 replay engine; experiments default to
+    the fast (vectorized, bit-identical) engine.
     """
     used_spec = spec if spec is not None else GpuSpec()
+    backend = resolve_backend(backend, default="fast")
     app = build_jacobi_pingpong(iters=2, size=image_size)
     graph = app.graph
     producer = graph.node_by_name("JI.0")
@@ -92,12 +97,12 @@ def run_fig2(
 
     # Block dependencies, for the tiled measurement's producer cone.
     with tracer.span("fig2.analyze", cat="analyzer"):
-        run = run_instrumented(graph, GpuSimulator(used_spec))
+        run = run_instrumented(graph, GpuSimulator(used_spec, backend=backend))
         block_graph = build_block_graph(run.trace)
 
     # --- default mode: producer full grid, then profile the consumer.
     with tracer.span("fig2.default", cat="experiment"):
-        sim = GpuSimulator(used_spec, freq, tracer=tracer)
+        sim = GpuSimulator(used_spec, freq, tracer=tracer, backend=backend)
         for node in graph:
             if node.node_id == consumer.node_id:
                 break
@@ -111,7 +116,7 @@ def run_fig2(
         [(consumer.node_id, bid) for bid in sub_blocks]
     )
     with tracer.span("fig2.tiled", cat="experiment"):
-        sim = GpuSimulator(used_spec, freq, tracer=tracer)
+        sim = GpuSimulator(used_spec, freq, tracer=tracer, backend=backend)
         for node in graph:
             if node.node_id == consumer.node_id:
                 break

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.apps.synthetic import build_jacobi_pingpong
 from repro.gpusim import GpuSimulator, GpuSpec
 from repro.gpusim.dram import DramModel
+from repro.gpusim.fast_cache import resolve_backend
 from repro.gpusim.executor import LaunchTally, time_launch
 from repro.gpusim.freq import FIG3_CONFIGS, FrequencyConfig
 
@@ -88,13 +89,20 @@ def _steady_state_tallies(
     measure: int = 2,
     launches_fn=None,
     tracer=None,
+    app=None,
+    backend: Optional[str] = None,
 ) -> List[LaunchTally]:
-    """Tallies of ping-pong Jacobi launches over a fixed block set."""
-    app = build_jacobi_pingpong(iters=2, size=image_size)
+    """Tallies of ping-pong Jacobi launches over a fixed block set.
+
+    ``app`` lets one prebuilt application serve many grid sizes so the
+    kernels' memoized line streams are shared across the sweep.
+    """
+    if app is None:
+        app = build_jacobi_pingpong(iters=2, size=image_size)
     graph = app.graph
     even = graph.node_by_name("JI.0").kernel
     odd = graph.node_by_name("JI.1").kernel
-    sim = GpuSimulator(spec, tracer=tracer)
+    sim = GpuSimulator(spec, tracer=tracer, backend=backend)
     # Populate the constant fields once (ix/iy/it and the zero inits).
     for node in graph:
         if node.name.startswith("JI"):
@@ -116,16 +124,20 @@ def run_fig3(
     grid_sizes: Optional[Sequence[int]] = None,
     with_split_comparison: bool = True,
     tracer=None,
+    backend: Optional[str] = None,
 ) -> Fig3Result:
     """Reproduce the Figure 3 sweep.
 
     One cache replay per grid size serves every frequency configuration
-    (cache behaviour is frequency-independent).
+    (cache behaviour is frequency-independent).  ``backend`` selects
+    the simulator's L2 replay engine; experiments default to the fast
+    (vectorized, bit-identical) engine.
     """
     from repro.obs.tracer import NULL_TRACER
 
     if tracer is None:
         tracer = NULL_TRACER
+    backend = resolve_backend(backend, default="fast")
     used_spec = spec if spec is not None else GpuSpec()
     dram = DramModel.from_spec(used_spec)
     app = build_jacobi_pingpong(iters=2, size=image_size)
@@ -137,7 +149,12 @@ def run_fig3(
     for grid in sizes:
         with tracer.span("fig3.grid", cat="experiment", grid=grid):
             tallies = _steady_state_tallies(
-                used_spec, image_size, range(grid), tracer=tracer
+                used_spec,
+                image_size,
+                range(grid),
+                tracer=tracer,
+                app=app,
+                backend=backend,
             )
         for config in configs:
             total_us = sum(
@@ -156,7 +173,9 @@ def run_fig3(
     split: Dict[str, float] = {}
     if with_split_comparison and max_blocks >= 1000 and len(configs) >= 3:
         series1, series3 = configs[0], configs[2]
-        one = _steady_state_tallies(used_spec, image_size, range(1000))
+        one = _steady_state_tallies(
+            used_spec, image_size, range(1000), app=app, backend=backend
+        )
         split["one_launch_high_freq"] = sum(t.num_blocks for t in one) / sum(
             time_launch(t, used_spec, dram, series3).time_us for t in one
         )
@@ -164,7 +183,9 @@ def run_fig3(
         total_us = 0.0
         total_blocks = 0
         for quarter in quarters:
-            tallies = _steady_state_tallies(used_spec, image_size, quarter)
+            tallies = _steady_state_tallies(
+                used_spec, image_size, quarter, app=app, backend=backend
+            )
             total_us += sum(
                 time_launch(t, used_spec, dram, series1).time_us for t in tallies
             )

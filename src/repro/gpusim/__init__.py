@@ -22,6 +22,13 @@ from repro.gpusim.arch import (
 )
 from repro.gpusim.cache import CacheStats, SetAssocCache
 from repro.gpusim.dram import DramModel
+from repro.gpusim.fast_cache import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    FastSetAssocCache,
+    make_l2,
+    resolve_backend,
+)
 from repro.gpusim.executor import (
     GpuSimulator,
     LaunchResult,
@@ -49,6 +56,11 @@ __all__ = [
     "spec_with_l2",
     "CacheStats",
     "SetAssocCache",
+    "FastSetAssocCache",
+    "BACKENDS",
+    "BACKEND_ENV_VAR",
+    "make_l2",
+    "resolve_backend",
     "DramModel",
     "GpuSimulator",
     "LaunchResult",

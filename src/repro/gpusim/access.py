@@ -22,6 +22,8 @@ import enum
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 
@@ -115,6 +117,41 @@ def line_stream(
         for line in rng.lines(line_shift):
             stream.append((line, is_write))
     return stream
+
+
+def line_stream_arrays(
+    ranges: Sequence[AccessRange], line_shift: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand access ranges into ``(lines, is_write)`` NumPy arrays.
+
+    Array form of :func:`line_stream` (same order, same filtering),
+    consumed by the vectorized replay engine
+    (:class:`repro.gpusim.fast_cache.FastSetAssocCache`).
+    """
+    starts = []
+    stops = []
+    write_flags = []
+    for rng in ranges:
+        if not rng.space.cached_in_l2:
+            continue
+        lines = rng.lines(line_shift)
+        if not lines:
+            continue
+        starts.append(lines.start)
+        stops.append(lines.stop)
+        write_flags.append(rng.kind.writes)
+    if not starts:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
+    start_arr = np.asarray(starts, dtype=np.int64)
+    length_arr = np.asarray(stops, dtype=np.int64) - start_arr
+    total = int(length_arr.sum())
+    # Expand all ranges in a handful of vector ops: a stream of ones
+    # with each range's start spliced in at its boundary, cumsummed.
+    steps = np.ones(total, dtype=np.int64)
+    steps[0] = start_arr[0]
+    bounds = np.cumsum(length_arr)[:-1]
+    steps[bounds] = start_arr[1:] - (start_arr[:-1] + length_arr[:-1] - 1)
+    return np.cumsum(steps), np.repeat(write_flags, length_arr)
 
 
 def line_sets(

@@ -46,6 +46,23 @@ class KernelProfile:
     def other_stall_fraction(self) -> float:
         return 1.0 - self.memory_stall_fraction
 
+    def summary_dict(self, float_digits: int = 10) -> dict:
+        """JSON-stable view of the counters.
+
+        Floats are rounded so serialized fixtures compare exactly
+        across runs; integers pass through untouched.  This is the
+        record format of the golden-figure fixtures in
+        ``tests/golden/`` — every backend must reproduce it verbatim.
+        """
+        return {
+            "kernel_name": self.kernel_name,
+            "num_blocks": self.num_blocks,
+            "cache_hit_rate": round(self.cache_hit_rate, float_digits),
+            "warp_issue_efficiency": round(self.warp_issue_efficiency, float_digits),
+            "memory_stall_fraction": round(self.memory_stall_fraction, float_digits),
+            "time_us": round(self.time_us, float_digits),
+        }
+
     def format_row(self) -> str:
         return (
             f"{self.kernel_name:<20} blocks={self.num_blocks:>6} "

@@ -30,6 +30,7 @@ class BlockDependencyGraph:
         self._producers: Dict[BlockKey, Tuple[BlockKey, ...]] = {}
         self._anti: Dict[BlockKey, Tuple[BlockKey, ...]] = {}
         self._consumers: Dict[BlockKey, List[BlockKey]] = {}
+        self._anti_consumers: Dict[BlockKey, List[BlockKey]] = {}
         self._node_blocks: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------
@@ -58,6 +59,8 @@ class BlockDependencyGraph:
         self._anti[key] = tuple(sorted(set(anti_producers) - set(prods)))
         for prod in prods:
             self._consumers.setdefault(prod, []).append(key)
+        for anti in self._anti[key]:
+            self._anti_consumers.setdefault(anti, []).append(key)
         self._node_blocks.setdefault(key[0], []).append(key[1])
 
     # ------------------------------------------------------------------
@@ -93,6 +96,11 @@ class BlockDependencyGraph:
     def consumers(self, key: BlockKey) -> Tuple[BlockKey, ...]:
         """Blocks with a RAW dependency on ``key``."""
         return tuple(self._consumers.get(key, ()))
+
+    def anti_consumers(self, key: BlockKey) -> Tuple[BlockKey, ...]:
+        """Blocks with a WAR/WAW dependency on ``key`` (inverse of
+        :meth:`anti_producers`)."""
+        return tuple(self._anti_consumers.get(key, ()))
 
     def blocks_of_node(self, node_id: int) -> List[int]:
         return list(self._node_blocks.get(node_id, ()))

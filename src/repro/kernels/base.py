@@ -28,7 +28,13 @@ from typing import Dict, List, Sequence, Set, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.gpusim.access import AccessKind, AccessRange, line_sets, line_stream
+from repro.gpusim.access import (
+    AccessKind,
+    AccessRange,
+    line_sets,
+    line_stream,
+    line_stream_arrays,
+)
 from repro.graph.buffers import Buffer
 
 
@@ -67,8 +73,13 @@ class KernelSpec(ABC):
         self.outputs = tuple(outputs)
         self.instrs_per_thread = float(instrs_per_thread)
         self._stream_cache: Dict[Tuple[int, int], List[Tuple[int, bool]]] = {}
+        self._arrays_cache: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
         self._sets_cache: Dict[Tuple[int, int], Tuple[frozenset, frozenset]] = {}
         self._touched_cache: Dict[Tuple[int, int], frozenset] = {}
+        self._read_ranges_cache: Dict[Tuple[int, int], tuple] = {}
+        self._batch_cache: Dict[
+            Tuple[int, int, int, int], Tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Geometry helpers
@@ -141,6 +152,75 @@ class KernelSpec(ABC):
             bx, by = self.block_coords(bid)
             cached = line_stream(self.block_accesses(bx, by), line_shift)
             self._stream_cache[key] = cached
+        return cached
+
+    def block_line_arrays(
+        self, bid: int, line_shift: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Memoized ``(lines, is_write)`` arrays of a block's stream.
+
+        Array twin of :meth:`block_line_stream` (same accesses, same
+        order), consumed by the fast simulator backend's batched
+        replay.  The arrays are shared between callers; treat them as
+        read-only.
+        """
+        key = (bid, line_shift)
+        cached = self._arrays_cache.get(key)
+        if cached is None:
+            bx, by = self.block_coords(bid)
+            cached = line_stream_arrays(self.block_accesses(bx, by), line_shift)
+            self._arrays_cache[key] = cached
+        return cached
+
+    def range_line_arrays(
+        self, blocks: range, line_shift: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Memoized concatenated ``(lines, writes, lengths)`` of a block range.
+
+        The profiler and the throughput experiments replay the same
+        ``range(grid)`` prefixes of a kernel dozens of times (one per
+        input combination and operating point); concatenating the
+        per-block streams once per distinct range keeps the batched
+        replay path allocation-free on repeats.  Treat as read-only.
+        """
+        key = (blocks.start, blocks.stop, blocks.step, line_shift)
+        cached = self._batch_cache.get(key)
+        if cached is None:
+            per = [self.block_line_arrays(b, line_shift) for b in blocks]
+            if per:
+                lines = np.concatenate([arr for arr, _ in per])
+                writes = np.concatenate([w for _, w in per])
+            else:
+                lines = np.zeros(0, dtype=np.int64)
+                writes = np.zeros(0, dtype=bool)
+            lengths = np.array([arr.size for arr, _ in per], dtype=np.int64)
+            cached = (lines, writes, lengths)
+            self._batch_cache[key] = cached
+        return cached
+
+    def block_read_line_ranges(self, bid: int, line_shift: int) -> tuple:
+        """Memoized ``(buffer_name, first_line, stop_line)`` read ranges.
+
+        One triple per read :class:`AccessRange` of the block, in
+        program order — the compact form the auto-profiler uses to
+        gather per-buffer warm sets without re-materializing
+        AccessRange objects on every (combo, grid) probe.
+        """
+        key = (bid, line_shift)
+        cached = self._read_ranges_cache.get(key)
+        if cached is None:
+            bx, by = self.block_coords(bid)
+            triples = []
+            for rng in self.block_accesses(bx, by):
+                if not rng.kind.reads:
+                    continue
+                lines = rng.lines(line_shift)
+                if lines:
+                    triples.append(
+                        (getattr(rng.buffer, "name", None), lines.start, lines.stop)
+                    )
+            cached = tuple(triples)
+            self._read_ranges_cache[key] = cached
         return cached
 
     def block_line_sets(self, bid: int, line_shift: int) -> Tuple[frozenset, frozenset]:

@@ -103,8 +103,9 @@ def compare_default_vs_ktiler(
         tracer = getattr(ktiler, "tracer", NULL_TRACER)
     graph = ktiler.graph
     spec = ktiler.spec
+    backend = getattr(ktiler, "backend", None)
     default_replay = tally_schedule(
-        ktiler.default_schedule(), graph, spec, tracer=tracer
+        ktiler.default_schedule(), graph, spec, tracer=tracer, backend=backend
     )
     replay_cache: Dict[Tuple, ScheduleTallies] = {}
     rows: List[ComparisonRow] = []
@@ -113,7 +114,9 @@ def compare_default_vs_ktiler(
         signature = _schedule_signature(plan.schedule)
         replay = replay_cache.get(signature)
         if replay is None:
-            replay = tally_schedule(plan.schedule, graph, spec, tracer=tracer)
+            replay = tally_schedule(
+                plan.schedule, graph, spec, tracer=tracer, backend=backend
+            )
             replay_cache[signature] = replay
         default_run = measure_at(
             default_replay, spec, freq, launch_gap_us, tracer=tracer

@@ -1,0 +1,297 @@
+"""Differential tests: FastSetAssocCache vs. the reference SetAssocCache.
+
+The fast backend's contract is *bit-identical* behavior, not
+approximate agreement: for any access stream both engines must report
+the same per-access hit/miss outcomes, the same aggregate counters
+(hits, misses, evictions, writes), and the same final tag + LRU state.
+Every test here replays one stream through both engines and compares
+all three.
+
+Streams cover the adversarial corners of a set-associative LRU:
+thrash exactly at capacity, single-set conflict storms (hash disabled
+so every line aliases), write-allocate mixes, immediate re-reference
+runs (the fast engine collapses these), and cross-launch persistence
+with ``touch_many`` warming and ``flush`` in between.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.cache import SetAssocCache
+from repro.gpusim.fast_cache import FastSetAssocCache
+
+GEOMETRIES = [
+    # (num_sets, assoc, hash_sets)
+    (16, 4, True),
+    (16, 4, False),
+    (64, 2, True),
+    (8, 1, True),  # direct-mapped
+    (1, 8, False),  # fully associative single set
+    (7, 3, True),  # non-power-of-two sets
+]
+
+
+def make_pair(num_sets=16, assoc=4, hash_sets=True):
+    ref = SetAssocCache(num_sets, assoc, hash_sets=hash_sets)
+    fast = FastSetAssocCache(num_sets, assoc, hash_sets=hash_sets)
+    return ref, fast
+
+
+def canonical_state(cache):
+    """Per-set LRU->MRU line lists, directly comparable across engines."""
+    return [list(s) for s in cache.clone_state()]
+
+
+def replay_both(ref, fast, lines, writes=None):
+    """Replay one stream through both engines; return the two hit masks."""
+    lines = np.asarray(lines, dtype=np.int64)
+    if writes is None:
+        writes = np.zeros(lines.size, dtype=bool)
+    writes = np.asarray(writes, dtype=bool)
+    ref_mask = np.fromiter(
+        (ref.access(int(l), bool(w)) for l, w in zip(lines, writes)),
+        dtype=bool,
+        count=lines.size,
+    )
+    fast_mask = fast.replay_arrays(lines, writes)
+    return ref_mask, fast_mask
+
+
+def assert_identical(ref, fast, lines, writes=None):
+    ref_mask, fast_mask = replay_both(ref, fast, lines, writes)
+    np.testing.assert_array_equal(ref_mask, fast_mask)
+    assert ref.stats.snapshot() == fast.stats.snapshot()
+    assert canonical_state(ref) == canonical_state(fast)
+    assert len(ref) == len(fast)
+
+
+class TestRandomizedStreams:
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_uniform_random(self, geometry, seed):
+        num_sets, assoc, hash_sets = geometry
+        gen = np.random.default_rng(seed)
+        ref, fast = make_pair(num_sets, assoc, hash_sets)
+        # Working set ~2x capacity: plenty of hits AND evictions.
+        universe = 2 * num_sets * assoc
+        lines = gen.integers(0, universe, size=4000, dtype=np.int64)
+        writes = gen.random(4000) < 0.3
+        assert_identical(ref, fast, lines, writes)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_skewed_hot_set(self, seed):
+        """Zipf-ish reuse: a few hot lines plus a long random tail."""
+        gen = np.random.default_rng(seed)
+        ref, fast = make_pair(32, 4)
+        hot = gen.integers(0, 64, size=3000, dtype=np.int64)
+        cold = gen.integers(0, 1 << 40, size=1000, dtype=np.int64)
+        lines = np.concatenate([hot, cold])
+        gen.shuffle(lines)
+        assert_identical(ref, fast, lines)
+
+    def test_huge_line_ids(self):
+        """Line ids near the top of the address space stay exact."""
+        gen = np.random.default_rng(7)
+        ref, fast = make_pair(16, 2)
+        base = (1 << 50) + 12345
+        lines = base + gen.integers(0, 256, size=2000, dtype=np.int64)
+        assert_identical(ref, fast, lines)
+
+
+class TestAdversarialStreams:
+    def test_thrash_exactly_at_capacity(self):
+        """Cyclic sweep over capacity+1 distinct lines: all-miss under LRU."""
+        ref, fast = make_pair(8, 2, hash_sets=False)
+        capacity = 8 * 2
+        sweep = np.arange(capacity + 8, dtype=np.int64) * 8  # one set, wrap
+        lines = np.tile(sweep, 20)
+        assert_identical(ref, fast, lines)
+
+    def test_cyclic_sweep_fits_capacity(self):
+        """Sweep exactly capacity lines: steady-state all-hit."""
+        ref, fast = make_pair(8, 4, hash_sets=False)
+        sweep = np.arange(8 * 4, dtype=np.int64)
+        lines = np.tile(sweep, 10)
+        ref_mask, fast_mask = replay_both(ref, fast, lines)
+        np.testing.assert_array_equal(ref_mask, fast_mask)
+        assert ref.stats.snapshot() == fast.stats.snapshot()
+        # Sanity on the scenario itself: only the cold pass misses.
+        assert fast.stats.misses == 8 * 4
+        assert fast.stats.evictions == 0
+
+    def test_single_set_conflict_storm(self):
+        """Every access aliases into set 0 (hash disabled)."""
+        gen = np.random.default_rng(11)
+        ref, fast = make_pair(16, 4, hash_sets=False)
+        lines = gen.integers(0, 12, size=3000, dtype=np.int64) * 16
+        writes = gen.random(3000) < 0.5
+        assert_identical(ref, fast, lines, writes)
+
+    def test_immediate_rereference_runs(self):
+        """Long same-line runs exercise the fast engine's repeat collapse."""
+        gen = np.random.default_rng(13)
+        picks = gen.integers(0, 40, size=200, dtype=np.int64)
+        runs = gen.integers(1, 30, size=200)
+        lines = np.repeat(picks, runs)
+        ref, fast = make_pair(4, 2)
+        assert_identical(ref, fast, lines)
+
+    def test_write_only_stream(self):
+        """Write-allocate: writes move lines exactly like reads."""
+        gen = np.random.default_rng(17)
+        ref, fast = make_pair(16, 4)
+        lines = gen.integers(0, 200, size=2000, dtype=np.int64)
+        writes = np.ones(2000, dtype=bool)
+        assert_identical(ref, fast, lines, writes)
+        assert fast.stats.writes == 2000
+
+    def test_alternating_ping_pong(self):
+        """Two lines in one set with assoc=1: every access evicts."""
+        ref, fast = make_pair(4, 1, hash_sets=False)
+        lines = np.array([0, 4, 0, 4, 0, 4, 0, 4] * 50, dtype=np.int64)
+        assert_identical(ref, fast, lines)
+        assert fast.stats.hits == 0
+
+
+class TestCrossLaunchPersistence:
+    def test_state_persists_across_replays(self):
+        """Several replay calls share way state, like launches share L2."""
+        gen = np.random.default_rng(19)
+        ref, fast = make_pair(32, 4)
+        for _ in range(5):
+            lines = gen.integers(0, 400, size=800, dtype=np.int64)
+            writes = gen.random(800) < 0.2
+            assert_identical(ref, fast, lines, writes)
+
+    def test_touch_many_warming_matches(self):
+        """touch_many installs identically and records no statistics."""
+        gen = np.random.default_rng(23)
+        ref, fast = make_pair(32, 4)
+        warm = range(0, 300)
+        ref.touch_many(warm)
+        fast.touch_many(warm)
+        assert ref.stats.snapshot() == fast.stats.snapshot() == (0, 0, 0, 0)
+        assert canonical_state(ref) == canonical_state(fast)
+        lines = gen.integers(0, 400, size=1000, dtype=np.int64)
+        assert_identical(ref, fast, lines)
+
+    def test_flush_between_launches(self):
+        gen = np.random.default_rng(29)
+        ref, fast = make_pair(16, 4)
+        lines = gen.integers(0, 150, size=600, dtype=np.int64)
+        assert_identical(ref, fast, lines)
+        ref.flush()
+        fast.flush()
+        assert canonical_state(ref) == canonical_state(fast)
+        assert len(fast) == 0
+        # Stats survive the flush; the next replay starts cold.
+        assert_identical(ref, fast, lines)
+
+    def test_clone_restore_roundtrip(self):
+        gen = np.random.default_rng(31)
+        ref, fast = make_pair(16, 4)
+        lines = gen.integers(0, 150, size=500, dtype=np.int64)
+        assert_identical(ref, fast, lines)
+        saved = fast.clone_state()
+        assert canonical_state(ref) == saved  # formats are interchangeable
+        probe = gen.integers(0, 150, size=500, dtype=np.int64)
+        assert_identical(ref, fast, probe)
+        ref.restore_state(saved)
+        fast.restore_state(saved)
+        assert canonical_state(fast) == saved
+        # After restoring, both engines continue in lockstep.
+        assert_identical(ref, fast, probe)
+
+
+class TestScalarApiParity:
+    def test_access_and_contains(self):
+        ref, fast = make_pair(8, 2)
+        for line in [1, 5, 1, 9, 33, 5, 1, 64, 9]:
+            assert ref.access(line) == fast.access(line)
+            assert ref.contains(line) == fast.contains(line)
+        assert ref.stats.snapshot() == fast.stats.snapshot()
+
+    def test_access_stream_tuple_api(self):
+        gen = np.random.default_rng(37)
+        ref, fast = make_pair(16, 4)
+        stream = [
+            (int(l), bool(w))
+            for l, w in zip(
+                gen.integers(0, 200, size=1500), gen.random(1500) < 0.4
+            )
+        ]
+        assert ref.access_stream(stream) == fast.access_stream(stream)
+        assert ref.stats.snapshot() == fast.stats.snapshot()
+        assert canonical_state(ref) == canonical_state(fast)
+
+    def test_empty_replay(self):
+        ref, fast = make_pair()
+        mask = fast.replay_arrays(np.zeros(0, dtype=np.int64))
+        assert mask.size == 0
+        assert fast.stats.snapshot() == ref.stats.snapshot() == (0, 0, 0, 0)
+
+    def test_resident_lines_agree_as_sets(self):
+        gen = np.random.default_rng(41)
+        ref, fast = make_pair(16, 4)
+        lines = gen.integers(0, 120, size=700, dtype=np.int64)
+        replay_both(ref, fast, lines)
+        assert sorted(ref.resident_lines()) == sorted(fast.resident_lines())
+
+
+class TestSimulatorBackendParity:
+    """End-to-end: GpuSimulator tallies agree between backends."""
+
+    def _apps(self):
+        from repro.graph.buffers import BufferAllocator
+        from repro.kernels.pointwise import MemsetKernel, ScaleKernel
+
+        alloc = BufferAllocator()
+        src = alloc.new_image("src", 96, 96)
+        out = alloc.new_image("out", 96, 96)
+        return MemsetKernel(src, 1.0), ScaleKernel(src, out, 2.0)
+
+    def _tally_fields(self, tally):
+        return (
+            tally.num_blocks,
+            tally.accesses,
+            tally.hits,
+            tally.misses,
+            tally.per_sm_hits,
+            tally.per_sm_misses,
+            tally.per_sm_issue,
+        )
+
+    def test_tally_launch_parity(self):
+        from repro.gpusim import GpuSimulator
+
+        memset, scale = self._apps()
+        ref_sim = GpuSimulator(backend="reference")
+        fast_sim = GpuSimulator(backend="fast")
+        assert not getattr(ref_sim.l2, "supports_batched_replay", False)
+        assert fast_sim.l2.supports_batched_replay
+        for kernel in (memset, scale):  # cache persists across launches
+            ref_tally = ref_sim.tally_launch(kernel)
+            fast_tally = fast_sim.tally_launch(kernel)
+            assert self._tally_fields(ref_tally) == self._tally_fields(fast_tally)
+        assert ref_sim.l2.stats.snapshot() == fast_sim.l2.stats.snapshot()
+
+    def test_launch_timing_parity(self):
+        from repro.gpusim import GpuSimulator
+
+        _, scale = self._apps()
+        ref_t = GpuSimulator(backend="reference").launch(scale)
+        fast_t = GpuSimulator(backend="fast").launch(scale)
+        assert ref_t.time_us == fast_t.time_us
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        from repro.gpusim import GpuSimulator
+        from repro.gpusim.fast_cache import BACKEND_ENV_VAR
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fast")
+        sim = GpuSimulator()
+        assert getattr(sim.l2, "backend_name", None) == "fast"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
+        sim = GpuSimulator()
+        assert not getattr(sim.l2, "supports_batched_replay", False)
