@@ -1,13 +1,17 @@
 """Repository-root pytest configuration.
 
 Adds ``--sim-backend`` so the whole suite can be exercised against
-either L2 replay engine (see :mod:`repro.gpusim.fast_cache`).  The
-chosen backend is exported through ``KTILER_SIM_BACKEND`` before any
-test runs, which is the same environment hook the CLI honours, so no
-individual test needs to thread the selection explicitly.
+either L2 replay engine (see :mod:`repro.gpusim.fast_cache`), and
+``--workers`` so it can be exercised with the parallel pipeline stages
+fanned out over processes (see :mod:`repro.parallel`).  Both selections
+are exported through the same environment hooks the CLI honours
+(``KTILER_SIM_BACKEND`` / ``KTILER_WORKERS``) before any test runs, so
+no individual test needs to thread them explicitly.
 
-CI runs the tier-1 suite once per backend; both legs must pass with
-identical results because the fast engine is bit-exact by contract.
+CI runs the tier-1 suite once per backend plus a ``--workers=2`` leg;
+every leg must pass with identical results because the fast engine is
+bit-exact by contract and the parallel stages are bit-identical to the
+serial oracle by construction.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ from __future__ import annotations
 import os
 
 from repro.gpusim.fast_cache import BACKEND_ENV_VAR, BACKENDS
+from repro.parallel import WORKERS_ENV_VAR
 
 
 def pytest_addoption(parser):
@@ -25,16 +30,34 @@ def pytest_addoption(parser):
         help="L2 replay engine for every simulator built during the run "
         f"(sets {BACKEND_ENV_VAR}; default: leave the environment as-is)",
     )
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the parallel pipeline stages "
+        f"(sets {WORKERS_ENV_VAR}; default: leave the environment as-is)",
+    )
 
 
 def pytest_configure(config):
     backend = config.getoption("--sim-backend")
     if backend is not None:
         os.environ[BACKEND_ENV_VAR] = backend
+    workers = config.getoption("--workers")
+    if workers is not None:
+        os.environ[WORKERS_ENV_VAR] = str(workers)
 
 
 def pytest_report_header(config):
+    parts = []
     backend = os.environ.get(BACKEND_ENV_VAR)
     if backend:
-        return f"sim backend: {backend} ({BACKEND_ENV_VAR})"
-    return "sim backend: per-call defaults (reference core, fast experiments)"
+        parts.append(f"sim backend: {backend} ({BACKEND_ENV_VAR})")
+    else:
+        parts.append(
+            "sim backend: per-call defaults (reference core, fast experiments)"
+        )
+    workers = os.environ.get(WORKERS_ENV_VAR)
+    if workers:
+        parts.append(f"workers: {workers} ({WORKERS_ENV_VAR})")
+    return parts

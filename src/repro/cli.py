@@ -44,6 +44,8 @@ from repro.experiments.presets import PAPER_SPEC, SCALED_SPEC
 from repro.gpusim.arch import GpuSpec, spec_with_l2
 from repro.gpusim.fast_cache import BACKEND_ENV_VAR, BACKENDS
 from repro.obs import NULL_TRACER, Tracer, write_chrome_trace, write_metrics
+from repro.parallel import WORKERS_ENV_VAR
+from repro.store import STORE_ENV_VAR, resolve_store
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -62,6 +64,31 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
             f"(vectorized, bit-identical); default from ${BACKEND_ENV_VAR} "
             "or the experiment's own default"
         ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for the parallel pipeline stages; results "
+            f"are bit-identical for any count (default ${WORKERS_ENV_VAR} "
+            "or 1 = serial)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "content-addressed artifact cache for traces, perf tables and "
+            f"schedules (default ${STORE_ENV_VAR} or off)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the artifact cache even when the environment sets one",
     )
     parser.add_argument(
         "--trace",
@@ -117,6 +144,19 @@ def _backend(args: argparse.Namespace) -> Optional[str]:
     return getattr(args, "sim_backend", None)
 
 
+def _workers(args: argparse.Namespace) -> Optional[int]:
+    return getattr(args, "workers", None)
+
+
+def _store(args: argparse.Namespace, tracer):
+    """The artifact store the flags (or environment) ask for."""
+    return resolve_store(
+        cache_dir=getattr(args, "cache_dir", None),
+        no_cache=getattr(args, "no_cache", False),
+        tracer=tracer,
+    )
+
+
 def _cmd_fig2(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     result = run_fig2(
@@ -124,6 +164,7 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
         spec=_resolve_spec(PAPER_SPEC, args),
         tracer=tracer,
         backend=_backend(args),
+        store=_store(args, tracer),
     )
     print(result.format_table())
     _finish_obs(args, tracer)
@@ -138,6 +179,7 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
         with_split_comparison=not args.no_split,
         tracer=tracer,
         backend=_backend(args),
+        workers=_workers(args),
     )
     print(result.format_table())
     _finish_obs(args, tracer)
@@ -162,6 +204,8 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
         check_functional=args.check_functional,
         tracer=tracer,
         backend=_backend(args),
+        workers=_workers(args),
+        store=_store(args, tracer),
     )
     print(result.format_table())
     _finish_obs(args, tracer)
@@ -180,12 +224,20 @@ def _cmd_suitability(args: argparse.Namespace) -> int:
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
+    tracer = _make_tracer(args)
     sweeps = {
         "threshold": threshold_sweep,
         "cache": cache_sweep,
         "gap": gap_sweep,
     }
-    print(sweeps[args.knob](backend=_backend(args)).format_table())
+    result = sweeps[args.knob](
+        backend=_backend(args),
+        workers=_workers(args),
+        store=_store(args, tracer),
+        tracer=tracer,
+    )
+    print(result.format_table())
+    _finish_obs(args, tracer)
     return 0
 
 
@@ -259,6 +311,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         config=KTilerConfig(launch_overhead_us=spec.launch_gap_us),
         tracer=tracer,
         backend=_backend(args),
+        workers=_workers(args),
+        store=_store(args, tracer),
     )
     report = compare_default_vs_ktiler(ktiler, [NOMINAL])
     print(report.format_table())
@@ -312,8 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("ablation", help="design-knob sweeps")
     p.add_argument("knob", choices=("threshold", "cache", "gap"))
-    p.add_argument("--sim-backend", choices=BACKENDS, default=None,
-                   help="L2 replay engine (reference|fast)")
+    _add_common(p)
     p.set_defaults(func=_cmd_ablation)
 
     p = sub.add_parser("demo", help="two-kernel quickstart (Figure 1)")

@@ -17,6 +17,7 @@ experiment needs.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -40,6 +41,19 @@ from repro.gpusim.freq import FrequencyConfig, NOMINAL
 from repro.graph.block_graph import BlockDependencyGraph
 from repro.graph.kernel_graph import KernelGraph
 from repro.obs.tracer import NULL_TRACER
+from repro.parallel import parallel_map, resolve_workers
+from repro.store import NULL_STORE
+from repro.store.artifacts import (
+    block_graph_from_dict,
+    block_graph_key,
+    block_graph_to_dict,
+    instrumented_run_from_dict,
+    instrumented_run_to_dict,
+    plan_key,
+    tiling_result_from_dict,
+    tiling_result_to_dict,
+    trace_key,
+)
 
 
 @dataclass(frozen=True)
@@ -73,6 +87,8 @@ class KTiler:
         config: Optional[KTilerConfig] = None,
         tracer=NULL_TRACER,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        store=None,
     ):
         graph.validate()
         self.graph = graph
@@ -80,8 +96,15 @@ class KTiler:
         self.config = config if config is not None else KTilerConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.backend = resolve_backend(backend)
+        self.workers = resolve_workers(workers)
+        self.store = store if store is not None else NULL_STORE
         self.profiler = KernelProfiler(
-            self.spec, self.config.grid_fractions, backend=self.backend
+            self.spec,
+            self.config.grid_fractions,
+            backend=self.backend,
+            workers=self.workers,
+            store=self.store,
+            tracer=self.tracer,
         )
         self._run: Optional[InstrumentedRun] = None
         self._block_graph: Optional[BlockDependencyGraph] = None
@@ -94,6 +117,17 @@ class KTiler:
     @property
     def instrumented_run(self) -> InstrumentedRun:
         if self._run is None:
+            key = None
+            if self.store.enabled:
+                key = self.store.key_for(trace_key(self.graph, self.spec))
+                payload = self.store.get("trace", key)
+                if payload is not None:
+                    restored = instrumented_run_from_dict(
+                        payload, self.graph, self.spec
+                    )
+                    if restored is not None:
+                        self._run = restored
+                        return self._run
             # The analyzer's simulator stays untraced on purpose: its
             # cache traffic is analysis input, not a measurement, and
             # would pollute the sim.* counters.
@@ -101,15 +135,34 @@ class KTiler:
                 self._run = run_instrumented(
                     self.graph, GpuSimulator(self.spec, backend=self.backend)
                 )
+            if key is not None:
+                self.store.put(
+                    "trace", key, instrumented_run_to_dict(self._run)
+                )
         return self._run
 
     @property
     def block_graph(self) -> BlockDependencyGraph:
         if self._block_graph is None:
+            key = None
+            if self.store.enabled:
+                key = self.store.key_for(
+                    block_graph_key(
+                        self.graph, self.spec, self.config.include_anti
+                    )
+                )
+                payload = self.store.get("blockgraph", key)
+                if payload is not None:
+                    self._block_graph = block_graph_from_dict(payload)
+                    return self._block_graph
             with self.tracer.span("ktiler.block_graph", cat="analyzer"):
                 self._block_graph = build_block_graph(
                     self.instrumented_run.trace,
                     include_anti=self.config.include_anti,
+                )
+            if key is not None:
+                self.store.put(
+                    "blockgraph", key, block_graph_to_dict(self._block_graph)
                 )
         return self._block_graph
 
@@ -165,6 +218,25 @@ class KTiler:
             launch_overhead = self.spec.launch_gap_us
         if launch_overhead < 0:
             raise ConfigurationError("launch_overhead_us must be >= 0")
+        key = None
+        if self.store.enabled:
+            key = self.store.key_for(
+                plan_key(self.graph, self.spec, self.config, freq)
+            )
+            payload = self.store.get("plan", key)
+            if payload is not None:
+                # Validated before it was stored; the rebuild re-checks
+                # the graph fingerprint and node-level coverage only.
+                result = tiling_result_from_dict(payload, self.graph)
+                if result is not None:
+                    self._plans[freq] = result
+                    return result
+                warnings.warn(
+                    f"artifact store: stale plan entry for {freq.label}; "
+                    "recomputing",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         with self.tracer.span("ktiler.plan", cat="scheduler", freq=freq.label):
             result = application_tile(
                 graph=self.graph,
@@ -179,12 +251,48 @@ class KTiler:
                 include_anti=self.config.include_anti,
                 max_cluster_nodes=self.config.max_cluster_nodes,
                 tracer=self.tracer,
+                workers=self.workers,
             )
             result.schedule.validate(
                 self.graph, self.block_graph, include_anti=self.config.include_anti
             )
         self._plans[freq] = result
+        if key is not None:
+            self.store.put(
+                "plan", key, tiling_result_to_dict(result, self.graph)
+            )
         return result
+
+    def plan_many(
+        self,
+        freqs: Sequence[FrequencyConfig],
+        workers: Optional[int] = None,
+    ) -> Dict[FrequencyConfig, TilingResult]:
+        """Plan several operating points, fanning out across workers.
+
+        Each worker runs the full (serial) pipeline for its frequency —
+        scheduling is a pure function of (graph, spec, config, freq),
+        so the parallel plans are bit-identical to serial ones.  With a
+        store attached the frequency-independent artifacts (trace,
+        block graph, profiles) are shared through it.  Results are
+        seeded into the plan memo, so subsequent :meth:`plan` calls and
+        report generation reuse them.
+        """
+        workers = self.workers if workers is None else resolve_workers(workers)
+        pending = [f for f in freqs if f not in self._plans]
+        if len(pending) > 1 and workers > 1:
+            tasks = [
+                (self.graph, self.spec, self.config, freq, self.backend,
+                 self.store)
+                for freq in pending
+            ]
+            results = parallel_map(
+                _plan_task, tasks, workers=workers,
+                tracer=self.tracer, label="plan",
+            )
+            for freq, result in zip(pending, results):
+                self._plans[freq] = result
+        return {freq: self.plan(freq) for freq in freqs}
 
     def _baseline_kwargs(self, freq: FrequencyConfig) -> dict:
         launch_overhead = self.config.launch_overhead_us
@@ -226,3 +334,17 @@ class KTiler:
             self.graph, self.block_graph, include_anti=self.config.include_anti
         )
         return result
+
+
+def _plan_task(task) -> TilingResult:
+    """Worker-side per-frequency plan (module-level for pickling).
+
+    Builds a serial (workers=1) KTiler so workers never nest pools; the
+    backend string was resolved by the parent.  A pickled ArtifactStore
+    travels as its root path, so warm artifacts are shared.
+    """
+    graph, spec, config, freq, backend, store = task
+    tiler = KTiler(
+        graph, spec, config, backend=backend, workers=1, store=store
+    )
+    return tiler.plan(freq)

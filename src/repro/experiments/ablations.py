@@ -28,6 +28,7 @@ from repro.gpusim import GpuSpec
 from repro.gpusim.fast_cache import resolve_backend
 from repro.gpusim.freq import FrequencyConfig, NOMINAL
 from repro.graph.kernel_graph import KernelGraph
+from repro.parallel import parallel_map, resolve_workers
 from repro.runtime.launcher import measure_at, tally_schedule
 
 
@@ -71,8 +72,11 @@ def _measure(
     config: KTilerConfig,
     gap_us: float,
     backend: Optional[str] = None,
+    store=None,
 ) -> AblationRow:
-    ktiler = KTiler(graph, spec=spec, config=config, backend=backend)
+    ktiler = KTiler(
+        graph, spec=spec, config=config, backend=backend, store=store
+    )
     plan = ktiler.plan(freq)
     default_run = measure_at(
         tally_schedule(
@@ -93,21 +97,54 @@ def _measure(
     )
 
 
+def _measure_task(task) -> AblationRow:
+    """Worker-side sweep point (module-level for pickling).
+
+    Every point schedules and replays from scratch — a pure function of
+    the task tuple — so sweep rows computed in parallel are
+    bit-identical to serial ones.
+    """
+    return _measure(*task)
+
+
+def _sweep(tasks, workers: Optional[int], tracer, label: str) -> List[AblationRow]:
+    return parallel_map(
+        _measure_task,
+        tasks,
+        workers=resolve_workers(workers),
+        tracer=tracer,
+        label=label,
+    )
+
+
 def threshold_sweep(
     thresholds: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 5.0, 20.0, 100.0),
     spec: Optional[GpuSpec] = None,
     freq: FrequencyConfig = NOMINAL,
     gap_us: float = 1.0,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    store=None,
+    tracer=None,
 ) -> AblationResult:
+    from repro.obs.tracer import NULL_TRACER
+
     backend = resolve_backend(backend, default="fast")
     used_spec = spec if spec is not None else GpuSpec(l2_bytes=512 * 1024)
     graph = _default_app()
-    rows = []
-    for threshold in thresholds:
-        config = KTilerConfig(threshold_us=threshold, launch_overhead_us=gap_us)
-        row = _measure(graph, used_spec, freq, config, gap_us, backend)
-        rows.append(replace(row, parameter=threshold))
+    tasks = [
+        (
+            graph, used_spec, freq,
+            KTilerConfig(threshold_us=threshold, launch_overhead_us=gap_us),
+            gap_us, backend, store,
+        )
+        for threshold in thresholds
+    ]
+    rows = _sweep(tasks, workers, tracer or NULL_TRACER, "ablation.threshold")
+    rows = [
+        replace(row, parameter=threshold)
+        for row, threshold in zip(rows, thresholds)
+    ]
     return AblationResult(name="threshold_us", rows=rows)
 
 
@@ -118,15 +155,27 @@ def cache_sweep(
     freq: FrequencyConfig = NOMINAL,
     gap_us: float = 1.0,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    store=None,
+    tracer=None,
 ) -> AblationResult:
+    from repro.obs.tracer import NULL_TRACER
+
     backend = resolve_backend(backend, default="fast")
     graph = _default_app()
-    rows = []
-    for l2_bytes in l2_sizes:
-        spec = GpuSpec(l2_bytes=l2_bytes)
-        config = KTilerConfig(launch_overhead_us=gap_us)
-        row = _measure(graph, spec, freq, config, gap_us, backend)
-        rows.append(replace(row, parameter=l2_bytes / 1024.0))
+    tasks = [
+        (
+            graph, GpuSpec(l2_bytes=l2_bytes), freq,
+            KTilerConfig(launch_overhead_us=gap_us),
+            gap_us, backend, store,
+        )
+        for l2_bytes in l2_sizes
+    ]
+    rows = _sweep(tasks, workers, tracer or NULL_TRACER, "ablation.cache")
+    rows = [
+        replace(row, parameter=l2_bytes / 1024.0)
+        for row, l2_bytes in zip(rows, l2_sizes)
+    ]
     return AblationResult(name="l2_kb", rows=rows)
 
 
@@ -135,13 +184,23 @@ def gap_sweep(
     spec: Optional[GpuSpec] = None,
     freq: FrequencyConfig = NOMINAL,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    store=None,
+    tracer=None,
 ) -> AblationResult:
+    from repro.obs.tracer import NULL_TRACER
+
     backend = resolve_backend(backend, default="fast")
     used_spec = spec if spec is not None else GpuSpec(l2_bytes=512 * 1024)
     graph = _default_app()
-    rows = []
-    for gap in gaps_us:
-        config = KTilerConfig(launch_overhead_us=gap)
-        row = _measure(graph, used_spec, freq, config, gap, backend)
-        rows.append(replace(row, parameter=gap))
+    tasks = [
+        (
+            graph, used_spec, freq,
+            KTilerConfig(launch_overhead_us=gap),
+            gap, backend, store,
+        )
+        for gap in gaps_us
+    ]
+    rows = _sweep(tasks, workers, tracer or NULL_TRACER, "ablation.gap")
+    rows = [replace(row, parameter=gap) for row, gap in zip(rows, gaps_us)]
     return AblationResult(name="gap_us", rows=rows)

@@ -79,6 +79,7 @@ def run_fig2(
     tiling_fraction: int = 32,
     tracer=NULL_TRACER,
     backend: Optional[str] = None,
+    store=None,
 ) -> Fig2Result:
     """Reproduce the Figure 2 experiment.
 
@@ -86,19 +87,55 @@ def run_fig2(
     seven fields total ~7 MB against the default 2 MB L2, the same
     thrashing regime as the paper's configuration.  ``backend``
     selects the simulator's L2 replay engine; experiments default to
-    the fast (vectorized, bit-identical) engine.
+    the fast (vectorized, bit-identical) engine.  ``store`` (an
+    :class:`repro.store.ArtifactStore`) caches the analyzer step — the
+    instrumented trace and block graph — so a repeated run skips the
+    dependency extraction entirely.
     """
+    from repro.store import NULL_STORE
+    from repro.store.artifacts import (
+        block_graph_from_dict,
+        block_graph_key,
+        block_graph_to_dict,
+        instrumented_run_from_dict,
+        instrumented_run_to_dict,
+        trace_key,
+    )
+
     used_spec = spec if spec is not None else GpuSpec()
     backend = resolve_backend(backend, default="fast")
+    store = store if store is not None else NULL_STORE
     app = build_jacobi_pingpong(iters=2, size=image_size)
     graph = app.graph
     producer = graph.node_by_name("JI.0")
     consumer = graph.node_by_name("JI.1")
 
     # Block dependencies, for the tiled measurement's producer cone.
-    with tracer.span("fig2.analyze", cat="analyzer"):
-        run = run_instrumented(graph, GpuSimulator(used_spec, backend=backend))
-        block_graph = build_block_graph(run.trace)
+    block_graph = None
+    bg_key = None
+    if store.enabled:
+        bg_key = store.key_for(block_graph_key(graph, used_spec, True))
+        payload = store.get("blockgraph", bg_key)
+        if payload is not None:
+            block_graph = block_graph_from_dict(payload)
+    if block_graph is None:
+        with tracer.span("fig2.analyze", cat="analyzer"):
+            run = None
+            t_key = None
+            if store.enabled:
+                t_key = store.key_for(trace_key(graph, used_spec))
+                payload = store.get("trace", t_key)
+                if payload is not None:
+                    run = instrumented_run_from_dict(payload, graph, used_spec)
+            if run is None:
+                run = run_instrumented(
+                    graph, GpuSimulator(used_spec, backend=backend)
+                )
+                if t_key is not None:
+                    store.put("trace", t_key, instrumented_run_to_dict(run))
+            block_graph = build_block_graph(run.trace)
+        if bg_key is not None:
+            store.put("blockgraph", bg_key, block_graph_to_dict(block_graph))
 
     # --- default mode: producer full grid, then profile the consumer.
     with tracer.span("fig2.default", cat="experiment"):

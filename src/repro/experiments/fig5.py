@@ -77,6 +77,8 @@ def run_fig5(
     check_functional: bool = False,
     tracer=NULL_TRACER,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    store=None,
 ) -> Fig5Result:
     """Reproduce the Figure 5 experiment.
 
@@ -85,6 +87,10 @@ def run_fig5(
     every operating point (``ktiler fig5 --trace out.json``).
     ``backend`` selects the simulator's L2 replay engine; experiments
     default to the fast (vectorized, bit-identical) engine.
+    ``workers`` fans the per-frequency plans and cache replays out
+    across processes; ``store`` (an :class:`repro.store.ArtifactStore`)
+    makes reruns of the same configuration serve schedules, profiles
+    and replays from disk.  Both leave the result bit-identical.
     """
     used_spec = spec if spec is not None else SCALED_SPEC
     backend = resolve_backend(backend, default="fast")
@@ -100,6 +106,8 @@ def run_fig5(
         ),
         tracer=tracer,
         backend=backend,
+        workers=workers,
+        store=store,
     )
     report = compare_default_vs_ktiler(ktiler, configs)
     plan_stats = {freq: ktiler.plan(freq).stats for freq in configs}

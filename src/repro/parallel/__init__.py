@@ -1,0 +1,21 @@
+"""Deterministic process-pool fan-out (see :mod:`repro.parallel.pool`)."""
+
+from repro.parallel.pool import (
+    WORKER_SEED,
+    WORKERS_ENV_VAR,
+    in_worker,
+    parallel_map,
+    resolve_workers,
+    scoped_pool,
+    shutdown_pools,
+)
+
+__all__ = [
+    "WORKER_SEED",
+    "WORKERS_ENV_VAR",
+    "in_worker",
+    "parallel_map",
+    "resolve_workers",
+    "scoped_pool",
+    "shutdown_pools",
+]

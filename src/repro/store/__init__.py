@@ -1,0 +1,35 @@
+"""Content-addressed artifact cache (see :mod:`repro.store.store`)."""
+
+from repro.store.fingerprint import (
+    STORE_VERSION,
+    canonical_json,
+    config_fingerprint,
+    content_key,
+    freq_fingerprint,
+    gpu_fingerprint,
+    graph_fingerprint,
+    kernel_fingerprint,
+)
+from repro.store.store import (
+    NULL_STORE,
+    STORE_ENV_VAR,
+    ArtifactStore,
+    NullStore,
+    resolve_store,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "NULL_STORE",
+    "NullStore",
+    "STORE_ENV_VAR",
+    "STORE_VERSION",
+    "canonical_json",
+    "config_fingerprint",
+    "content_key",
+    "freq_fingerprint",
+    "gpu_fingerprint",
+    "graph_fingerprint",
+    "kernel_fingerprint",
+    "resolve_store",
+]

@@ -1,0 +1,366 @@
+"""Codecs between pipeline artifacts and store payloads.
+
+Each artifact *kind* pairs a key-payload builder (``*_key``) with a
+to/from-dict codec.  Keys are canonical fingerprints (see
+:mod:`repro.store.fingerprint`); payloads reuse the stable schedule
+serialization of :mod:`repro.core.serialize` wherever a schedule is
+embedded, so tiled schedules in the store read the same as schedules
+saved explicitly.
+
+Compactness choices that keep paper-scale entries reviewable:
+
+* traces store only ``(node, block-range)`` runs — the line sets are
+  reconstructed from the kernels' memoized access patterns, which is
+  exactly how the recorder produced them;
+* block graphs store the per-block adjacency in trace order, so the
+  rebuilt :class:`~repro.graph.block_graph.BlockDependencyGraph` is
+  structurally identical (same insertion order, same consumer lists);
+* block-id sequences use the run-length encoding of
+  :mod:`repro.core.serialize`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analyzer.instrument import InstrumentedRun
+from repro.core.app_tile import TilingResult, TilingStats
+from repro.core.cluster import Partition
+from repro.core.cluster_tile import ClusterTiling
+from repro.core.perftable import InputCombo
+from repro.core.serialize import (
+    _decode_blocks,
+    _encode_blocks,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.core.schedule import Schedule
+from repro.core.subkernel import SubKernel
+from repro.gpusim.arch import GpuSpec
+from repro.gpusim.dram import DramModel
+from repro.gpusim.executor import LaunchResult, LaunchTally, time_launch
+from repro.gpusim.freq import NOMINAL, FrequencyConfig
+from repro.gpusim.trace import BlockTraceRecord, MemoryTrace
+from repro.graph.block_graph import BlockDependencyGraph
+from repro.graph.kernel_graph import KernelGraph
+from repro.kernels.base import KernelSpec
+from repro.store.fingerprint import (
+    config_fingerprint,
+    freq_fingerprint,
+    gpu_fingerprint,
+    graph_fingerprint,
+    kernel_fingerprint,
+)
+
+
+# ----------------------------------------------------------------------
+# LaunchTally
+# ----------------------------------------------------------------------
+def tally_to_dict(tally: LaunchTally) -> Dict:
+    return dataclasses.asdict(tally)
+
+
+def tally_from_dict(payload: Dict) -> LaunchTally:
+    return LaunchTally(
+        kernel_name=payload["kernel_name"],
+        num_blocks=payload["num_blocks"],
+        threads_per_block=payload["threads_per_block"],
+        resident_warps=payload["resident_warps"],
+        per_sm_issue=[float(v) for v in payload["per_sm_issue"]],
+        per_sm_hits=[int(v) for v in payload["per_sm_hits"]],
+        per_sm_misses=[int(v) for v in payload["per_sm_misses"]],
+        line_bytes=payload["line_bytes"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Profiler entries (the perf-table backing data)
+# ----------------------------------------------------------------------
+def profile_key(
+    kernel: KernelSpec,
+    spec: GpuSpec,
+    grid_fractions: Sequence[float],
+    combo: InputCombo,
+) -> Dict:
+    return {
+        "artifact": "profile",
+        "kernel": kernel_fingerprint(kernel),
+        "gpu": gpu_fingerprint(spec),
+        "grid_fractions": [float(f) for f in grid_fractions],
+        "combo": sorted(combo),
+    }
+
+
+def profile_to_dict(ladder_tallies: Dict[int, LaunchTally]) -> Dict:
+    return {
+        "grids": [
+            [grid, tally_to_dict(tally)]
+            for grid, tally in sorted(ladder_tallies.items())
+        ]
+    }
+
+
+def profile_from_dict(payload: Dict) -> Dict[int, LaunchTally]:
+    return {
+        int(grid): tally_from_dict(entry)
+        for grid, entry in payload["grids"]
+    }
+
+
+# ----------------------------------------------------------------------
+# Instrumented traces
+# ----------------------------------------------------------------------
+def trace_key(graph: KernelGraph, spec: GpuSpec) -> Dict:
+    return {
+        "artifact": "trace",
+        "graph": graph_fingerprint(graph),
+        "gpu": gpu_fingerprint(spec),
+    }
+
+
+def instrumented_run_to_dict(run: InstrumentedRun) -> Dict:
+    launches: List[Dict] = []
+    records = list(run.trace)
+    cursor = 0
+    for result in run.launches:
+        # The recorder appends one record per executed block, launches
+        # in execution order; recover each launch's slice by length.
+        count = result.tally.num_blocks
+        chunk = records[cursor : cursor + count]
+        cursor += count
+        launches.append(
+            {
+                "node": chunk[0].node_id if chunk else None,
+                "blocks": _encode_blocks([r.block_id for r in chunk]),
+                "tally": tally_to_dict(result.tally),
+            }
+        )
+    return {"launches": launches, "total_blocks": run.trace.total_blocks}
+
+
+def instrumented_run_from_dict(
+    payload: Dict,
+    graph: KernelGraph,
+    spec: GpuSpec,
+    freq: FrequencyConfig = NOMINAL,
+) -> Optional[InstrumentedRun]:
+    """Rebuild a trace from block ids + the kernels' memoized line sets.
+
+    Returns None when the payload does not line up with the graph (a
+    stale or hand-edited entry) — the caller recomputes.
+    """
+    node_ids = graph.topological_order()
+    if len(payload.get("launches", ())) != len(node_ids):
+        return None
+    dram = DramModel.from_spec(spec)
+    trace = MemoryTrace()
+    launches: List[LaunchResult] = []
+    for node_id, entry in zip(node_ids, payload["launches"]):
+        if entry["node"] != node_id:
+            return None
+        kernel = graph.node(node_id).kernel
+        for bid in _decode_blocks(entry["blocks"]):
+            reads, writes = kernel.block_line_sets(bid, spec.line_shift)
+            trace.append(
+                BlockTraceRecord(
+                    node_id=node_id,
+                    kernel_name=kernel.name,
+                    block_id=bid,
+                    read_lines=reads,
+                    written_lines=writes,
+                )
+            )
+        tally = tally_from_dict(entry["tally"])
+        launches.append(
+            LaunchResult(
+                tally=tally,
+                timing=time_launch(tally, spec, dram, freq),
+                freq=freq,
+            )
+        )
+    if trace.total_blocks != payload.get("total_blocks"):
+        return None
+    return InstrumentedRun(trace=trace, launches=launches)
+
+
+# ----------------------------------------------------------------------
+# Block dependency graphs
+# ----------------------------------------------------------------------
+def block_graph_key(
+    graph: KernelGraph, spec: GpuSpec, include_anti: bool
+) -> Dict:
+    return {
+        "artifact": "blockgraph",
+        "graph": graph_fingerprint(graph),
+        "gpu": gpu_fingerprint(spec),
+        "include_anti": bool(include_anti),
+    }
+
+
+def block_graph_to_dict(block_graph: BlockDependencyGraph) -> Dict:
+    blocks = [
+        [
+            key[0],
+            key[1],
+            [list(p) for p in block_graph.producers(key)],
+            [list(a) for a in block_graph.anti_producers(key)],
+        ]
+        for key in block_graph
+    ]
+    return {"blocks": blocks}
+
+
+def block_graph_from_dict(payload: Dict) -> BlockDependencyGraph:
+    rebuilt = BlockDependencyGraph()
+    for node, bid, producers, anti in payload["blocks"]:
+        rebuilt.add_block(
+            (node, bid),
+            [tuple(p) for p in producers],
+            [tuple(a) for a in anti],
+        )
+    return rebuilt
+
+
+# ----------------------------------------------------------------------
+# Tiled schedules (full TilingResult)
+# ----------------------------------------------------------------------
+def plan_key(
+    graph: KernelGraph, spec: GpuSpec, config, freq: FrequencyConfig
+) -> Dict:
+    return {
+        "artifact": "plan",
+        "graph": graph_fingerprint(graph),
+        "gpu": gpu_fingerprint(spec),
+        "config": config_fingerprint(config),
+        "freq": freq_fingerprint(freq),
+    }
+
+
+def _subkernel_to_dict(sub: SubKernel) -> Dict:
+    return {
+        "node": sub.node_id,
+        "label": sub.label,
+        "blocks": _encode_blocks(sub.blocks),
+    }
+
+
+def _subkernel_from_dict(entry: Dict) -> SubKernel:
+    return SubKernel(
+        node_id=entry["node"],
+        blocks=tuple(_decode_blocks(entry["blocks"])),
+        label=entry.get("label", ""),
+    )
+
+
+def tiling_result_to_dict(result: TilingResult, graph: KernelGraph) -> Dict:
+    return {
+        "schedule": schedule_to_dict(result.schedule, graph),
+        "partition": [
+            sorted(result.partition.members(cid))
+            for cid in result.partition.cluster_ids()
+        ],
+        "tilings": [
+            [
+                cid,
+                {
+                    "nodes": sorted(tiling.nodes),
+                    "subkernels": [
+                        _subkernel_to_dict(s) for s in tiling.subkernels
+                    ],
+                    "cost_us": tiling.cost_us,
+                    "rounds": tiling.rounds,
+                },
+            ]
+            for cid, tiling in sorted(result.tilings.items())
+        ],
+        "estimated_cost_us": result.estimated_cost_us,
+        "stats": dataclasses.asdict(result.stats),
+    }
+
+
+def partition_from_members(
+    graph: KernelGraph, members_lists: Sequence[Sequence[int]]
+) -> Partition:
+    """Rebuild a partition from member sets; quotient from graph edges.
+
+    Produces exactly the state the incremental merges maintain (the
+    invariant :meth:`Partition.validate_against` checks).
+    """
+    clusters = {min(m): frozenset(m) for m in members_lists}
+    of = {node: cid for cid, members in clusters.items() for node in members}
+    qadj = {cid: set() for cid in clusters}
+    qradj = {cid: set() for cid in clusters}
+    for edge in graph.edges:
+        src, dst = of[edge.src], of[edge.dst]
+        if src != dst:
+            qadj[src].add(dst)
+            qradj[dst].add(src)
+    return Partition(clusters, of, qadj, qradj)
+
+
+def tiling_result_from_dict(
+    payload: Dict, graph: KernelGraph
+) -> Optional[TilingResult]:
+    """Rebuild a TilingResult; None when it doesn't match the graph."""
+    try:
+        schedule = schedule_from_dict(payload["schedule"], graph)
+        partition = partition_from_members(graph, payload["partition"])
+        tilings = {
+            int(cid): ClusterTiling(
+                nodes=frozenset(entry["nodes"]),
+                subkernels=tuple(
+                    _subkernel_from_dict(s) for s in entry["subkernels"]
+                ),
+                cost_us=float(entry["cost_us"]),
+                rounds=int(entry["rounds"]),
+            )
+            for cid, entry in payload["tilings"]
+        }
+        stats = TilingStats(**payload["stats"])
+        return TilingResult(
+            schedule=schedule,
+            partition=partition,
+            tilings=tilings,
+            estimated_cost_us=float(payload["estimated_cost_us"]),
+            stats=stats,
+        )
+    except (KeyError, TypeError, ValueError, Exception) as exc:  # noqa: B014
+        # Schedule/graph mismatches raise ScheduleError/GraphError; any
+        # structural surprise means "treat as a miss", not "crash".
+        del exc
+        return None
+
+
+# ----------------------------------------------------------------------
+# Schedule replays
+# ----------------------------------------------------------------------
+def replay_key(
+    graph: KernelGraph, spec: GpuSpec, schedule: Schedule
+) -> Dict:
+    return {
+        "artifact": "replay",
+        "graph": graph_fingerprint(graph),
+        "gpu": gpu_fingerprint(spec),
+        "schedule": schedule_to_dict(schedule),
+    }
+
+
+def schedule_tallies_to_dict(replay) -> Dict:
+    return {
+        "schedule_name": replay.schedule_name,
+        "labels": list(replay.labels),
+        "tallies": [tally_to_dict(t) for t in replay.tallies],
+    }
+
+
+def schedule_tallies_from_dict(payload: Dict):
+    # Imported here: repro.runtime.__init__ pulls in report, which
+    # imports core.ktiler, which imports this module.
+    from repro.runtime.launcher import ScheduleTallies
+
+    return ScheduleTallies(
+        schedule_name=payload["schedule_name"],
+        labels=list(payload["labels"]),
+        tallies=[tally_from_dict(t) for t in payload["tallies"]],
+    )
