@@ -14,13 +14,45 @@ result is cached for the assertion phase.
 
 from __future__ import annotations
 
+import json
+import os
+
 import numpy as np
 import pytest
+
+#: Version stamp of the BENCH_*.json artifacts.
+BENCH_SCHEMA_VERSION = 1
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under the benchmark timer."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def update_bench_json(name: str, key: str, payload: dict) -> dict:
+    """Merge one benchmark's results into a machine-readable artifact.
+
+    ``BENCH_fig5.json`` / ``BENCH_perf.json`` track the perf trajectory
+    across PRs: each benchmark writes its section under ``key``, other
+    sections from the same run are preserved, and a corrupt or foreign
+    file is replaced rather than crashing the benchmark.  Files land in
+    the current working directory (the ``benchmarks/`` job dir in CI,
+    where they are uploaded as artifacts).
+    """
+    data: dict = {}
+    if os.path.exists(name):
+        try:
+            with open(name, "r", encoding="utf-8") as fh:
+                existing = json.load(fh)
+            if isinstance(existing, dict):
+                data = existing
+        except (OSError, ValueError):
+            pass
+    data["schema_version"] = BENCH_SCHEMA_VERSION
+    data[key] = payload
+    with open(name, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+    return data
 
 
 def replay_workload(size: int = 768, repeats: int = 3):

@@ -8,7 +8,7 @@ platform (256x256 frames, 512 KB L2 — same footprint:cache ratio as
 the paper's 1024x1024 / 2 MB; see EXPERIMENTS.md).
 """
 
-from conftest import run_once
+from conftest import run_once, update_bench_json
 
 from repro.experiments import run_fig5
 from repro.gpusim.freq import FIG5_CONFIGS
@@ -46,3 +46,20 @@ def test_fig5_default_vs_ktiler(benchmark):
 
     # Functional transparency: the tiled run computes the same flow.
     assert result.functional_ok is True
+
+    # Machine-readable artifact for the cross-PR perf trajectory.
+    wall_s = benchmark.stats.stats.total
+    benchmark.extra_info["mean_gain_with_ig"] = round(result.mean_gain_with_ig, 4)
+    benchmark.extra_info["mean_gain_without_ig"] = round(
+        result.mean_gain_without_ig, 4
+    )
+    update_bench_json(
+        "BENCH_fig5.json",
+        "fig5_default_vs_ktiler",
+        {
+            "app": result.app.graph.name,
+            "wall_s": round(wall_s, 3),
+            "functional_ok": result.functional_ok,
+            "report": result.report.as_dict(),
+        },
+    )

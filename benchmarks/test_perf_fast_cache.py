@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import time
 
-from conftest import replay_workload, scattered_workload
+from conftest import replay_workload, scattered_workload, update_bench_json
 
 RAW_FLOOR = 1.8
 FIG5_FLOOR = 1.05
@@ -91,6 +91,19 @@ def test_raw_replay_speedup(benchmark):
         f"\nraw replay: reference {ref_s:.3f}s fast {fast_s:.3f}s -> {ratio:.2f}x"
         f" (adversarial {adv_ref_s / adv_fast_s:.2f}x)"
     )
+    update_bench_json(
+        "BENCH_perf.json",
+        "raw_replay",
+        {
+            "accesses": int(lines.size),
+            "reference_s": round(ref_s, 4),
+            "fast_s": round(fast_s, 4),
+            "speedup": round(ratio, 2),
+            "adversarial_speedup": round(adv_ref_s / adv_fast_s, 2),
+            "hit_rate": round(ref_hits / (ref_hits + ref_misses), 4),
+            "floor": RAW_FLOOR,
+        },
+    )
     assert ratio >= RAW_FLOOR, (
         f"fast backend raw replay only {ratio:.2f}x over reference "
         f"(floor {RAW_FLOOR}x)"
@@ -120,6 +133,17 @@ def test_fig5_end_to_end_speedup(benchmark):
     benchmark.extra_info["reference_s"] = round(ref_s, 4)
     benchmark.extra_info["speedup"] = round(ratio, 2)
     print(f"\nfig5: reference {ref_s:.3f}s fast {fast_s:.3f}s -> {ratio:.2f}x")
+    update_bench_json(
+        "BENCH_perf.json",
+        "fig5_end_to_end",
+        {
+            "reference_s": round(ref_s, 4),
+            "fast_s": round(fast_s, 4),
+            "speedup": round(ratio, 2),
+            "floor": FIG5_FLOOR,
+            "report": fast.report.as_dict(),
+        },
+    )
     assert ratio >= FIG5_FLOOR, (
         f"fig5 under the fast backend only {ratio:.2f}x over reference "
         f"(floor {FIG5_FLOOR}x)"

@@ -12,6 +12,7 @@ Regenerates every evaluation artifact of the paper from the terminal:
     $ ktiler ablation threshold   # design-knob sweeps
     $ ktiler demo                 # two-kernel quickstart
     $ ktiler trace                # full observability run (trace + metrics)
+    $ ktiler explain              # audit a tiled schedule (JSON + HTML)
 
 Every experiment prints the same rows/series the paper reports; see
 EXPERIMENTS.md for paper-vs-measured values.
@@ -117,10 +118,48 @@ def _make_tracer(args: argparse.Namespace):
     return NULL_TRACER
 
 
+def _pool_utilization(tracer) -> tuple:
+    """(busy_s, capacity_s, utilization) of the parallel pool this run.
+
+    Capacity is each ``parallel.map`` span's wall time times its worker
+    count; busy time is the summed task seconds the pool recorded.
+    Serial runs have no spans, so everything reports zero.
+    """
+    busy_s = tracer.metrics.total("parallel.task_seconds")
+    capacity_s = 0.0
+    for ev in tracer.events:
+        if ev.get("name") == "parallel.map" and "dur" in ev:
+            workers = ev.get("args", {}).get("workers") or 1
+            capacity_s += ev["dur"] / 1e6 * workers
+    utilization = busy_s / capacity_s if capacity_s else 0.0
+    return busy_s, capacity_s, utilization
+
+
 def _finish_obs(args: argparse.Namespace, tracer) -> None:
     """Write the requested observability artifacts, if tracing ran."""
     if not tracer.enabled:
         return
+    # End-of-run summary: artifact-store traffic and pool utilization
+    # (collected throughout the run).  The pool gauges are set before
+    # the metrics dump so they appear in --metrics output too.
+    m = tracer.metrics
+    busy_s, capacity_s, utilization = _pool_utilization(tracer)
+    m.set_gauge("parallel.pool.busy_seconds", busy_s)
+    m.set_gauge("parallel.pool.capacity_seconds", capacity_s)
+    m.set_gauge("parallel.pool.utilization", utilization)
+    print(
+        "run summary: store hits={} misses={} writes={} corrupt={} | "
+        "pool busy={:.2f}s capacity={:.2f}s utilization={:.0%}".format(
+            int(m.total("store.hits")),
+            int(m.total("store.misses")),
+            int(m.total("store.writes")),
+            int(m.total("store.corrupt")),
+            busy_s,
+            capacity_s,
+            utilization,
+        ),
+        file=sys.stderr,
+    )
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
     if trace_path:
@@ -326,6 +365,64 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Preset applications runnable under ``ktiler explain --preset <name>``.
+EXPLAIN_PRESETS = ("demo", "fig5", "pipeline", "jacobi", "diamond", "stencil")
+
+
+def _build_explain_app(preset: str):
+    from repro.apps import build_hsopticalflow, build_pipeline
+    from repro.apps.synthetic import (
+        build_diamond,
+        build_jacobi_pingpong,
+        build_stencil_chain,
+    )
+
+    if preset == "fig5":
+        # The scaled Figure 5 application (same shape run_fig5 uses);
+        # the attributed replays add a few seconds on top of planning.
+        return build_hsopticalflow(frame_size=256, levels=3, jacobi_iters=20)
+    if preset == "demo":
+        return build_pipeline(size=128)
+    if preset == "pipeline":
+        return build_pipeline(size=256)
+    if preset == "jacobi":
+        return build_jacobi_pingpong(iters=5, size=256)
+    if preset == "diamond":
+        return build_diamond(size=128)
+    return build_stencil_chain(size=128)
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core import KTiler, KTilerConfig
+    from repro.gpusim import NOMINAL
+    from repro.obs.audit import audit_schedule, write_audit
+
+    tracer = _make_tracer(args)
+    app = _build_explain_app(args.preset)
+    spec = _resolve_spec(SCALED_SPEC, args)
+    print(app.graph.summary())
+    ktiler = KTiler(
+        app.graph,
+        spec=spec,
+        config=KTilerConfig(launch_overhead_us=spec.launch_gap_us),
+        tracer=tracer,
+        backend=_backend(args),
+        workers=_workers(args),
+        store=_store(args, tracer),
+    )
+    audit = audit_schedule(ktiler, freq=NOMINAL, tracer=tracer)
+    print(audit.format_table())
+    write_audit(
+        audit, json_path=args.json, html_path=args.html, preset=args.preset
+    )
+    print(
+        f"wrote audit JSON to {args.json}, HTML report to {args.html}",
+        file=sys.stderr,
+    )
+    _finish_obs(args, tracer)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ktiler",
@@ -388,6 +485,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Jacobi iterations (hsopticalflow, jacobi)")
     _add_common(p)
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "explain",
+        help=(
+            "audit a tiled schedule: replay default vs tiled with miss "
+            "attribution; write a JSON audit + HTML report"
+        ),
+    )
+    p.add_argument("--preset", choices=EXPLAIN_PRESETS, default="demo")
+    p.add_argument("--json", metavar="PATH", default="audit.json",
+                   help="audit JSON output path (schema_version 1)")
+    p.add_argument("--html", metavar="PATH", default="audit.html",
+                   help="self-contained HTML report output path")
+    _add_common(p)
+    p.set_defaults(func=_cmd_explain)
 
     return parser
 

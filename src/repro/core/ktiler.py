@@ -294,6 +294,17 @@ class KTiler:
                 self._plans[freq] = result
         return {freq: self.plan(freq) for freq in freqs}
 
+    def audit(self, freq: FrequencyConfig = NOMINAL):
+        """Attributed default-vs-tiled replay joining predictions to outcomes.
+
+        Convenience wrapper over :func:`repro.obs.audit.audit_schedule`;
+        returns a :class:`repro.obs.audit.ScheduleAudit`.  Plans first
+        if no plan for ``freq`` is memoized yet.
+        """
+        from repro.obs.audit import audit_schedule
+
+        return audit_schedule(self, freq=freq)
+
     def _baseline_kwargs(self, freq: FrequencyConfig) -> dict:
         launch_overhead = self.config.launch_overhead_us
         if launch_overhead is None:

@@ -40,6 +40,17 @@ class EdgeWeights:
     def nonzero_count(self) -> int:
         return sum(1 for w in self.weights.values() if w > 0.0)
 
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly view: ``"src->dst[buffer]"`` -> weight (us).
+
+        Keys are sorted (src, dst, buffer) so the dump is stable; the
+        audit layer and ``ktiler explain`` embed this in their reports.
+        """
+        return {
+            f"{src}->{dst}[{buf}]": self.weights[(src, dst, buf)]
+            for src, dst, buf in sorted(self.weights)
+        }
+
 
 def node_is_tileable(node) -> bool:
     """Paper §II: tileable unless flagged or input-dependent."""

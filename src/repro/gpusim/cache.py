@@ -116,6 +116,10 @@ class SetAssocCache:
         # the index width, precomputed for the hot path.
         self._fold_shift = max(1, num_sets.bit_length() - 1)
         self.stats = CacheStats()
+        # Optional passive observer (repro.obs.audit.MissAttributor).
+        # Must stay None on measurement paths: with an attributor
+        # attached, access_stream drops to a per-access loop.
+        self.attribution = None
         # Each set is a list of line ids, LRU at index 0, MRU at the end.
         self._sets: List[List[int]] = [[] for _ in range(num_sets)]
 
@@ -125,6 +129,15 @@ class SetAssocCache:
             shift = self._fold_shift
             line = line ^ (line >> shift) ^ (line >> (2 * shift))
         return line % self.num_sets
+
+    def attach_attribution(self, attributor) -> None:
+        """Attach (or detach, with None) a passive per-access observer.
+
+        The observer sees every statistics-recorded access in stream
+        order (``touch_many`` warming excluded) and never mutates cache
+        state, so hit/miss outcomes and counters are unchanged.
+        """
+        self.attribution = attributor
 
     @classmethod
     def from_spec(cls, spec) -> "SetAssocCache":
@@ -160,11 +173,15 @@ class SetAssocCache:
             if len(cset) > self.assoc:
                 cset.pop(0)
                 stats.evictions += 1
+            if self.attribution is not None:
+                self.attribution.observe(line, is_write, False)
             return False
         stats.hits += 1
         if idx != len(cset) - 1:
             cset.pop(idx)
             cset.append(line)
+        if self.attribution is not None:
+            self.attribution.observe(line, is_write, True)
         return True
 
     def access_stream(self, stream: Sequence[Tuple[int, bool]]) -> Tuple[int, int]:
@@ -173,6 +190,19 @@ class SetAssocCache:
         Returns ``(hits, misses)`` for this stream only (global stats are
         also updated).  Inlined version of :meth:`access` for speed.
         """
+        if self.attribution is not None:
+            # Attribution path: per-access, so the observer sees every
+            # outcome in stream order.  The inlined loop below is the
+            # measurement path and must stay untouched.
+            access = self.access
+            hits = 0
+            misses = 0
+            for line, is_write in stream:
+                if access(line, is_write):
+                    hits += 1
+                else:
+                    misses += 1
+            return hits, misses
         sets = self._sets
         num_sets = self.num_sets
         assoc = self.assoc
@@ -243,6 +273,8 @@ class SetAssocCache:
         """Invalidate the whole cache (statistics are preserved)."""
         for cset in self._sets:
             cset.clear()
+        if self.attribution is not None:
+            self.attribution.on_flush()
 
     def clone_state(self) -> List[List[int]]:
         """Snapshot of the set contents (for save/restore in profiling)."""

@@ -296,6 +296,9 @@ class GpuSimulator:
             raise SimulationError(
                 f"launch of '{kernel.name}' with an empty block list"
             )
+        attribution = getattr(self.l2, "attribution", None)
+        if attribution is not None:
+            attribution.begin_launch(kernel.name, num_blocks)
         nsms = self.spec.num_sms
         line_shift = self.spec.line_shift
         per_sm_issue = [0.0] * nsms

@@ -114,6 +114,9 @@ class FastSetAssocCache:
         self.hash_sets = hash_sets
         self._fold_shift = max(1, num_sets.bit_length() - 1)
         self.stats = CacheStats()
+        # Optional passive observer (repro.obs.audit.MissAttributor);
+        # fed the per-access hit mask of every stats-recorded replay.
+        self.attribution = None
         # Way state: tag per way and an LRU timestamp.  Timestamps
         # strictly increase with every round of every replay; invalid
         # ways carry the sentinel tag and timestamp 0, so argmin fills
@@ -153,6 +156,15 @@ class FastSetAssocCache:
             shift = self._fold_shift
             lines = lines ^ (lines >> shift) ^ (lines >> (2 * shift))
         return lines % self.num_sets
+
+    def attach_attribution(self, attributor) -> None:
+        """Attach (or detach, with None) a passive per-access observer.
+
+        The observer sees every statistics-recorded access in stream
+        order (``touch_many`` warming excluded) and never mutates cache
+        state, so hit/miss outcomes and counters are unchanged.
+        """
+        self.attribution = attributor
 
     # ------------------------------------------------------------------
     # Replay
@@ -265,6 +277,8 @@ class FastSetAssocCache:
             stats.evictions += evictions
             if writes is not None:
                 stats.writes += int(np.count_nonzero(writes))
+            if self.attribution is not None:
+                self.attribution.observe_batch(lines, writes, hit_mask)
         return hit_mask
 
     def replay_arrays(
@@ -327,6 +341,8 @@ class FastSetAssocCache:
         """Invalidate the whole cache (statistics are preserved)."""
         self._tags[:] = _INVALID_TAG
         self._stamps[:] = 0
+        if self.attribution is not None:
+            self.attribution.on_flush()
 
     def clone_state(self) -> List[List[int]]:
         """Per-set resident lines in LRU->MRU order.

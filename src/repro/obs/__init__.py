@@ -9,7 +9,10 @@ The subsystem has four pieces:
   hierarchical labels (``cache.hits{kernel=jacobi}``);
 * :mod:`repro.obs.chrome_trace` — export simulated timelines and
   scheduler decisions as Chrome trace-event JSON (Perfetto-loadable);
-* :mod:`repro.obs.report` — JSON and Prometheus-text metric dumps.
+* :mod:`repro.obs.report` — JSON and Prometheus-text metric dumps;
+* :mod:`repro.obs.audit` — opt-in L2 miss attribution (cold /
+  capacity / conflict, per kernel and buffer) and the default-vs-tiled
+  schedule auditor behind ``ktiler explain``.
 
 Quick start::
 
@@ -34,6 +37,18 @@ from repro.obs.report import (
     write_metrics,
 )
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.audit import (
+    AUDIT_SCHEMA_VERSION,
+    MISS_CLASSES,
+    EdgeAudit,
+    MissAttributor,
+    ReuseDistanceTracker,
+    ScheduleAudit,
+    audit_schedule,
+    render_html,
+    validate_audit,
+    write_audit,
+)
 
 __all__ = [
     "Tracer",
@@ -49,4 +64,14 @@ __all__ = [
     "metrics_to_json",
     "metrics_to_prometheus",
     "write_metrics",
+    "AUDIT_SCHEMA_VERSION",
+    "MISS_CLASSES",
+    "EdgeAudit",
+    "MissAttributor",
+    "ReuseDistanceTracker",
+    "ScheduleAudit",
+    "audit_schedule",
+    "render_html",
+    "validate_audit",
+    "write_audit",
 ]

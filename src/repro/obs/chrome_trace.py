@@ -32,6 +32,34 @@ COUNTER_TRACK_KEYS = ("l2_hit_rate", "occupancy")
 TIMELINE_PID_BASE = 10
 
 
+def _json_safe(value):
+    """Coerce an event payload into plain JSON-serializable types.
+
+    Instrumentation sites pass through whatever they computed with —
+    NumPy scalars (``np.int64`` hit counts, ``np.bool_`` flags) reach
+    Timeline metadata and event args, and ``json.dump`` rejects them
+    (``np.bool_`` is not a ``bool`` subclass; ``np.int64`` is not an
+    ``int``).  Sanitize at export time instead of policing every site.
+    """
+    if value is None or isinstance(value, (str, bool, int, float)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    item = getattr(value, "item", None)
+    if callable(item):
+        # NumPy scalars (and 0-d arrays) convert to the Python scalar.
+        try:
+            return _json_safe(item())
+        except (TypeError, ValueError):
+            pass
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return _json_safe(tolist())
+    return str(value)
+
+
 def process_name_event(pid: int, name: str) -> dict:
     """Metadata event labelling a trace process."""
     return {
@@ -112,12 +140,19 @@ def build_chrome_trace(
             out.setdefault("pid", 2)
             out.setdefault("tid", 0)
             events.append(out)
-    for offset, (label, timeline) in enumerate(sorted(merged.items())):
+    offset = 0
+    for label, timeline in sorted(merged.items()):
+        if not len(timeline):
+            # An empty timeline would emit a bare process_name metadata
+            # event, which Perfetto renders as a blank process row (and
+            # chrome://tracing has rejected traces that are all-"M").
+            continue
         pid = TIMELINE_PID_BASE + offset
+        offset += 1
         events.append(process_name_event(pid, label))
         events.extend(timeline_trace_events(timeline, pid))
 
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    return {"traceEvents": [_json_safe(ev) for ev in events], "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(

@@ -169,6 +169,29 @@ class Tracer:
             }
         )
 
+    def sim_counter(
+        self,
+        name: str,
+        ts_us: float,
+        values: Dict[str, float],
+        cat: str = "sim",
+    ) -> None:
+        """Record a counter ('C') sample stamped in simulated microseconds.
+
+        One call per sample point; Chrome/Perfetto renders each ``name``
+        as a stacked-area track over the ``values`` series (the audit
+        layer uses this for per-buffer L2 occupancy).
+        """
+        self.sim_events.append(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "C",
+                "ts": ts_us,
+                "args": dict(values),
+            }
+        )
+
     def attach_timeline(self, label: str, timeline: object) -> None:
         """Register a simulated Timeline for export under ``label``.
 
@@ -211,6 +234,15 @@ class NullTracer:
 
     def sim_span(
         self, name: str, ts_us: float, dur_us: float, cat: str = "sim", **args: object
+    ) -> None:
+        pass
+
+    def sim_counter(
+        self,
+        name: str,
+        ts_us: float,
+        values: Dict[str, float],
+        cat: str = "sim",
     ) -> None:
         pass
 

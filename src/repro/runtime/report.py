@@ -54,6 +54,22 @@ class ComparisonRow:
         """Fractional improvement with the inter-launch gaps excluded."""
         return 1.0 - self.ktiler_busy_us / self.default_busy_us
 
+    def as_dict(self) -> dict:
+        """JSON-friendly view (benchmark artifacts, audit reports)."""
+        return {
+            "freq": self.freq.label,
+            "default_total_us": self.default_total_us,
+            "default_busy_us": self.default_busy_us,
+            "ktiler_total_us": self.ktiler_total_us,
+            "ktiler_busy_us": self.ktiler_busy_us,
+            "default_launches": self.default_launches,
+            "ktiler_launches": self.ktiler_launches,
+            "default_hit_rate": self.default_hit_rate,
+            "ktiler_hit_rate": self.ktiler_hit_rate,
+            "gain_with_ig": self.gain_with_ig,
+            "gain_without_ig": self.gain_without_ig,
+        }
+
     def format_row(self) -> str:
         return (
             f"{self.freq.label:>12}  default={self.default_total_us / 1e3:8.2f}ms  "
@@ -79,6 +95,14 @@ class ComparisonReport:
         if not self.rows:
             return 0.0
         return sum(r.gain_without_ig for r in self.rows) / len(self.rows)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view: per-row dumps plus the two mean gains."""
+        return {
+            "rows": [row.as_dict() for row in self.rows],
+            "mean_gain_with_ig": self.mean_gain_with_ig,
+            "mean_gain_without_ig": self.mean_gain_without_ig,
+        }
 
     def format_table(self) -> str:
         lines = [row.format_row() for row in self.rows]

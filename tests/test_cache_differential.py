@@ -295,3 +295,69 @@ class TestSimulatorBackendParity:
         monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
         sim = GpuSimulator()
         assert not getattr(sim.l2, "supports_batched_replay", False)
+
+
+class TestAttributionBitIdentity:
+    """Attribution mode must be invisible to the replay contract.
+
+    An attributor-attached pair must produce exactly the masks, stats
+    and final state of an unobserved pair — the attribution-off path is
+    already covered by every other test in this file, so together these
+    pin both sides of the opt-in.
+    """
+
+    def _attach(self, cache):
+        from repro.graph.buffers import BufferAllocator
+        from repro.obs.audit import MissAttributor
+
+        alloc = BufferAllocator()
+        buf = alloc.new("data", 4096)
+        attr = MissAttributor([buf], 7, cache.capacity_lines)
+        cache.attach_attribution(attr)
+        attr.begin_launch("k", 1)
+        return attr
+
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    def test_observed_pair_matches_plain_pair(self, geometry):
+        num_sets, assoc, hash_sets = geometry
+        gen = np.random.default_rng(99)
+        universe = 2 * num_sets * assoc
+        lines = gen.integers(0, universe, size=2500, dtype=np.int64)
+        writes = gen.random(2500) < 0.3
+
+        plain_ref, plain_fast = make_pair(num_sets, assoc, hash_sets)
+        plain_masks = replay_both(plain_ref, plain_fast, lines, writes)
+
+        obs_ref, obs_fast = make_pair(num_sets, assoc, hash_sets)
+        self._attach(obs_ref)
+        self._attach(obs_fast)
+        obs_masks = replay_both(obs_ref, obs_fast, lines, writes)
+
+        np.testing.assert_array_equal(plain_masks[0], obs_masks[0])
+        np.testing.assert_array_equal(plain_masks[1], obs_masks[1])
+        assert plain_ref.stats.snapshot() == obs_ref.stats.snapshot()
+        assert plain_fast.stats.snapshot() == obs_fast.stats.snapshot()
+        assert canonical_state(plain_ref) == canonical_state(obs_ref)
+        assert canonical_state(plain_fast) == canonical_state(obs_fast)
+
+    def test_observed_stream_and_flush(self):
+        """access_stream's attribution branch and flush hooks stay identical."""
+        gen = np.random.default_rng(5)
+        lines = gen.integers(0, 96, size=1200, dtype=np.int64)
+        stream = [(int(l), bool(i % 3 == 0)) for i, l in enumerate(lines)]
+
+        plain_ref, plain_fast = make_pair(16, 4)
+        obs_ref, obs_fast = make_pair(16, 4)
+        attrs = [self._attach(obs_ref), self._attach(obs_fast)]
+        for caches in ((plain_ref, plain_fast), (obs_ref, obs_fast)):
+            for cache in caches:
+                cache.access_stream(stream[:600])
+                cache.flush()
+                cache.access_stream(stream[600:])
+        assert plain_ref.stats.snapshot() == obs_ref.stats.snapshot()
+        assert plain_fast.stats.snapshot() == obs_fast.stats.snapshot()
+        assert canonical_state(obs_ref) == canonical_state(obs_fast)
+        # The flush reset the reuse tracker: both attributors agree and
+        # classified every post-flush first touch as cold again.
+        assert attrs[0].class_counts == attrs[1].class_counts
+        assert attrs[0].total_accesses == len(stream)

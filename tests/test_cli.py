@@ -13,7 +13,7 @@ class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         for command in ("fig2", "fig3", "fig4", "fig5", "suitability",
-                        "ablation", "demo", "trace"):
+                        "ablation", "demo", "trace", "explain"):
             args = parser.parse_args(
                 [command] + (["threshold"] if command == "ablation" else [])
             )
@@ -37,6 +37,10 @@ class TestParser:
     def test_trace_app_validated(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace", "--app", "nope"])
+
+    def test_explain_preset_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explain", "--preset", "nope"])
 
 
 class TestExecution:
@@ -83,3 +87,29 @@ class TestExecution:
         assert main(["trace", "--app", "diamond", "--size", "64"]) == 0
         assert (tmp_path / "trace.json").exists()
         assert (tmp_path / "metrics.prom").exists()
+
+    def test_explain_demo_writes_audit(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        from repro.obs.audit import validate_audit
+
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "explain", "--preset", "demo",
+            "--json", "audit.json", "--html", "audit.html",
+            "--metrics", "audit-metrics.json",
+        ])
+        assert code == 0
+
+        payload = validate_audit(json.loads((tmp_path / "audit.json").read_text()))
+        assert payload["preset"] == "demo"
+        assert payload["edges"], "demo audit produced no edge rows"
+        for row in payload["kernels"]:
+            assert row["cold"] + row["capacity"] + row["conflict"] == row["misses"]
+
+        html = (tmp_path / "audit.html").read_text()
+        assert payload["edges"][0]["buffer"] in html
+
+        captured = capsys.readouterr()
+        assert "predicted" in captured.out and "actual" in captured.out
+        assert "run summary:" in captured.err

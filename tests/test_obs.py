@@ -280,6 +280,59 @@ class TestChromeTrace:
         trace = build_chrome_trace(NULL_TRACER)
         assert trace["traceEvents"] == []
 
+    def test_empty_timeline_is_skipped(self, tmp_path):
+        # Regression: an attached-but-never-launched timeline used to
+        # emit a dangling process_name metadata event with no slices.
+        tl = Timeline()
+        tl.add_launch("k", 1.0)
+        trace = build_chrome_trace(timelines={"a_empty": Timeline(), "solo": tl})
+        names = [e["args"]["name"] for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert names == ["solo"]
+        phs = [e["ph"] for e in trace["traceEvents"]]
+        assert phs == ["M", "X"]
+
+        path = tmp_path / "empty.json"
+        write_chrome_trace(str(path), timelines={"only_empty": Timeline()})
+        assert json.loads(path.read_text())["traceEvents"] == []
+
+    def test_numpy_meta_round_trips(self, tmp_path):
+        # Regression: fast-backend launch metadata carries numpy
+        # scalars (np.float64 hit rates, np.int64 counts, np.bool_
+        # flags), which ``json.dump`` rejects without sanitizing.
+        import numpy as np
+
+        tl = Timeline()
+        tl.add_launch(
+            "k",
+            np.float64(2.5),
+            meta={
+                "l2_hit_rate": np.float64(0.5),
+                "hits": np.int64(7),
+                "warmed": np.bool_(True),
+            },
+        )
+        path = tmp_path / "numpy.json"
+        write_chrome_trace(str(path), timelines={"fast": tl})
+        trace = json.loads(path.read_text())
+        (launch,) = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert launch["dur"] == 2.5
+        assert launch["args"] == {"l2_hit_rate": 0.5, "hits": 7, "warmed": True}
+
+    def test_fast_backend_run_exports(self, tmp_path):
+        tracer = Tracer()
+        app = build_pipeline(size=128)
+        ktiler = KTiler(
+            app.graph,
+            config=KTilerConfig(launch_overhead_us=2.0),
+            backend="fast",
+            tracer=tracer,
+        )
+        compare_default_vs_ktiler(ktiler, [NOMINAL])
+        path = tmp_path / "fast.json"
+        write_chrome_trace(str(path), tracer)
+        trace = json.loads(path.read_text())
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
 
 class TestMetricDumps:
     def _populated(self):
