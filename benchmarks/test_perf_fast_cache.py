@@ -1,9 +1,12 @@
 """PERF GUARD: the fast L2 backend must stay fast *and* bit-identical.
 
-Two floored guards plus one reported-only data point.  Floors are
-deliberately conservative (measured ratios on the development machine
-are noted inline; the floors leave ~2x headroom for slower CI
-runners):
+Two floored guards plus one reported-only data point, all measured
+with the statistical harness (``repro.obs.bench.run_benchmark``:
+warmup + repeats, floors asserted on the **median** ratio) so a single
+scheduler hiccup on a noisy CI runner can no longer fail the job.
+Floors are deliberately conservative (measured median ratios on the
+development machine are noted inline; the floors leave ~2x headroom
+for slower CI runners):
 
 * **raw replay** — the production-shaped stream (a real kernel's
   concatenated per-block line arrays, the exact stream shape the
@@ -17,128 +20,158 @@ runners):
 * **adversarial stream** — uniform-random lines maximize the per-set
   access depth (the round count), the vectorized engine's degenerate
   regime; measured ~0.6-2x vs ``access_stream`` depending on the
-  working-set-to-capacity ratio.  Reported in ``extra_info`` for the
-  trend, not floored: the simulator never produces this shape, but
+  working-set-to-capacity ratio.  Reported in ``BENCH_perf.json`` for
+  the trend, not floored: the simulator never produces this shape, but
   pretending it doesn't exist would be dishonest benchmarking.
 
 Every floored guard asserts exact equality of results before it looks
 at the clock: a fast-but-wrong backend must fail here, not in CI
-statistics.  Measured ratios land in ``extra_info`` (and the CI job
-summary) so the trend stays visible while the floors stay
-conservative.
+statistics.  Measured medians/MADs land in ``BENCH_perf.json`` (and
+the CI job summary) so the trend stays visible while the floors stay
+conservative.  The whole module carries the ``perf`` marker: tier-1
+excludes it by marker, the CI bench job opts in with ``-m perf``.
 """
 
 from __future__ import annotations
 
-import time
+import pytest
 
 from conftest import replay_workload, scattered_workload, update_bench_json
+
+pytestmark = pytest.mark.perf
 
 RAW_FLOOR = 1.8
 FIG5_FLOOR = 1.05
 
-
-def _reference_replay_seconds(lines, writes, geometry):
-    from repro.gpusim.cache import SetAssocCache
-
-    ref = SetAssocCache(**geometry)
-    stream = list(zip((int(l) for l in lines), (bool(w) for w in writes)))
-    t0 = time.perf_counter()
-    hits, misses = ref.access_stream(stream)
-    return time.perf_counter() - t0, hits, misses, ref
-
-
 L2_GEOMETRY = dict(num_sets=1024, assoc=16, line_bytes=128)  # GTX 960M
 
 
-def test_raw_replay_speedup(benchmark):
+def _stats_payload(result):
+    return {
+        "median_s": round(result.wall.median, 4),
+        "mad_s": round(result.wall.mad, 5),
+        "repeats": result.repeats,
+        "samples_s": [round(s, 4) for s in result.wall.samples],
+    }
+
+
+def test_raw_replay_speedup():
+    from repro.gpusim.cache import SetAssocCache
     from repro.gpusim.fast_cache import FastSetAssocCache
+    from repro.obs.bench import run_benchmark
 
     lines, writes = replay_workload()
-    ref_s, ref_hits, ref_misses, ref = _reference_replay_seconds(
-        lines, writes, L2_GEOMETRY
-    )
-
-    fast = FastSetAssocCache(**L2_GEOMETRY)
-    mask = benchmark.pedantic(
-        fast.replay_arrays, args=(lines, writes), rounds=1, iterations=1
-    )
-    fast_s = benchmark.stats.stats.total
+    stream = list(zip((int(l) for l in lines), (bool(w) for w in writes)))
 
     # Identity first: same per-stream totals, same counters, same state.
+    ref = SetAssocCache(**L2_GEOMETRY)
+    ref_hits, ref_misses = ref.access_stream(stream)
+    fast = FastSetAssocCache(**L2_GEOMETRY)
+    mask = fast.replay_arrays(lines, writes)
     assert (int(mask.sum()), int((~mask).sum())) == (ref_hits, ref_misses)
     assert ref.stats.snapshot() == fast.stats.snapshot()
     assert [list(s) for s in ref.clone_state()] == fast.clone_state()
 
-    ratio = ref_s / fast_s
-    benchmark.extra_info["accesses"] = int(lines.size)
-    benchmark.extra_info["reference_s"] = round(ref_s, 4)
-    benchmark.extra_info["speedup"] = round(ratio, 2)
+    # Then the clock: fresh cache per repeat, floors on the medians.
+    ref_res = run_benchmark(
+        "raw.reference",
+        lambda tracer: SetAssocCache(**L2_GEOMETRY).access_stream(stream),
+        repeats=3, warmup=1,
+    )
+    fast_res = run_benchmark(
+        "raw.fast",
+        lambda tracer: FastSetAssocCache(**L2_GEOMETRY).replay_arrays(
+            lines, writes
+        ),
+        repeats=3, warmup=1,
+    )
+    ratio = ref_res.wall.median / fast_res.wall.median
 
     # Adversarial data point (reported, not floored — see module docs).
     adv_lines, adv_writes = scattered_workload()
-    adv_ref_s, _, _, adv_ref = _reference_replay_seconds(
-        adv_lines, adv_writes, L2_GEOMETRY
+    adv_stream = list(
+        zip((int(l) for l in adv_lines), (bool(w) for w in adv_writes))
     )
+    adv_ref = SetAssocCache(**L2_GEOMETRY)
+    adv_ref.access_stream(adv_stream)
     adv_fast = FastSetAssocCache(**L2_GEOMETRY)
-    t0 = time.perf_counter()
     adv_fast.replay_arrays(adv_lines, adv_writes)
-    adv_fast_s = time.perf_counter() - t0
     assert adv_ref.stats.snapshot() == adv_fast.stats.snapshot()
-    benchmark.extra_info["adversarial_speedup"] = round(adv_ref_s / adv_fast_s, 2)
+    adv_ref_res = run_benchmark(
+        "raw.adversarial.reference",
+        lambda tracer: SetAssocCache(**L2_GEOMETRY).access_stream(adv_stream),
+        repeats=3, warmup=0,
+    )
+    adv_fast_res = run_benchmark(
+        "raw.adversarial.fast",
+        lambda tracer: FastSetAssocCache(**L2_GEOMETRY).replay_arrays(
+            adv_lines, adv_writes
+        ),
+        repeats=3, warmup=0,
+    )
+    adv_ratio = adv_ref_res.wall.median / adv_fast_res.wall.median
 
     print(
-        f"\nraw replay: reference {ref_s:.3f}s fast {fast_s:.3f}s -> {ratio:.2f}x"
-        f" (adversarial {adv_ref_s / adv_fast_s:.2f}x)"
+        f"\nraw replay: reference {ref_res.wall.median:.3f}s "
+        f"fast {fast_res.wall.median:.3f}s -> {ratio:.2f}x "
+        f"(adversarial {adv_ratio:.2f}x)"
     )
     update_bench_json(
         "BENCH_perf.json",
         "raw_replay",
         {
             "accesses": int(lines.size),
-            "reference_s": round(ref_s, 4),
-            "fast_s": round(fast_s, 4),
+            "reference": _stats_payload(ref_res),
+            "fast": _stats_payload(fast_res),
             "speedup": round(ratio, 2),
-            "adversarial_speedup": round(adv_ref_s / adv_fast_s, 2),
+            "adversarial_speedup": round(adv_ratio, 2),
             "hit_rate": round(ref_hits / (ref_hits + ref_misses), 4),
             "floor": RAW_FLOOR,
         },
     )
     assert ratio >= RAW_FLOOR, (
         f"fast backend raw replay only {ratio:.2f}x over reference "
-        f"(floor {RAW_FLOOR}x)"
+        f"(floor {RAW_FLOOR}x, median of {ref_res.repeats})"
     )
 
 
-def test_fig5_end_to_end_speedup(benchmark):
+def test_fig5_end_to_end_speedup():
     from repro.experiments import run_fig5
-
-    t0 = time.perf_counter()
-    ref = run_fig5(backend="reference")
-    ref_s = time.perf_counter() - t0
-
-    fast = benchmark.pedantic(
-        run_fig5, kwargs={"backend": "fast"}, rounds=1, iterations=1
-    )
-    fast_s = benchmark.stats.stats.total
+    from repro.obs.bench import run_benchmark
 
     # Identity first: every row of the comparison table must be equal,
     # not approximately equal — the backends share no float slack.
+    ref = run_fig5(backend="reference")
+    fast = run_fig5(backend="fast")
     assert fast.report.rows == ref.report.rows
     assert {str(k): str(v) for k, v in fast.plan_stats.items()} == {
         str(k): str(v) for k, v in ref.plan_stats.items()
     }
 
-    ratio = ref_s / fast_s
-    benchmark.extra_info["reference_s"] = round(ref_s, 4)
-    benchmark.extra_info["speedup"] = round(ratio, 2)
-    print(f"\nfig5: reference {ref_s:.3f}s fast {fast_s:.3f}s -> {ratio:.2f}x")
+    # The experiment is expensive, so no extra warmup runs: the median
+    # of 3 already shrugs off a slow first repeat.
+    ref_res = run_benchmark(
+        "fig5.reference",
+        lambda tracer: run_fig5(backend="reference"),
+        repeats=3, warmup=0,
+    )
+    fast_res = run_benchmark(
+        "fig5.fast",
+        lambda tracer: run_fig5(backend="fast"),
+        repeats=3, warmup=0,
+    )
+    ratio = ref_res.wall.median / fast_res.wall.median
+
+    print(
+        f"\nfig5: reference {ref_res.wall.median:.3f}s "
+        f"fast {fast_res.wall.median:.3f}s -> {ratio:.2f}x"
+    )
     update_bench_json(
         "BENCH_perf.json",
         "fig5_end_to_end",
         {
-            "reference_s": round(ref_s, 4),
-            "fast_s": round(fast_s, 4),
+            "reference": _stats_payload(ref_res),
+            "fast": _stats_payload(fast_res),
             "speedup": round(ratio, 2),
             "floor": FIG5_FLOOR,
             "report": fast.report.as_dict(),
@@ -146,5 +179,5 @@ def test_fig5_end_to_end_speedup(benchmark):
     )
     assert ratio >= FIG5_FLOOR, (
         f"fig5 under the fast backend only {ratio:.2f}x over reference "
-        f"(floor {FIG5_FLOOR}x)"
+        f"(floor {FIG5_FLOOR}x, median of {ref_res.repeats})"
     )

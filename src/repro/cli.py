@@ -27,6 +27,7 @@ preset application with tracing forced on and emits both artifacts.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -423,6 +424,131 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_bench_doc(path: str) -> dict:
+    from repro.obs.bench import validate_bench
+
+    with open(path, "r", encoding="utf-8") as fh:
+        return validate_bench(json.load(fh))
+
+
+def _bench_verdict(report, strict: bool) -> int:
+    """Print the comparison and turn it into an exit code.
+
+    Regressions are enforced (exit 2) only when the environment
+    fingerprints match — on a different machine/backend/worker count
+    the baseline's noise band says nothing, so the comparison is
+    advisory unless ``--strict`` forces it.
+    """
+    print(report.format_table())
+    if report.ok:
+        return 0
+    if not report.fingerprint_match and not strict:
+        print(
+            "fingerprints differ: regression(s) reported as advisory only "
+            "(use --strict to enforce)",
+            file=sys.stderr,
+        )
+        return 0
+    for delta in report.regressions:
+        where = f" in the {delta.phase} phase" if delta.phase else ""
+        print(
+            f"REGRESSION: {delta.name} slowed "
+            f"{delta.baseline_s * 1e3:.2f} -> {delta.current_s * 1e3:.2f} ms "
+            f"(band {delta.band_s * 1e3:.2f} ms){where}",
+            file=sys.stderr,
+        )
+    return 2
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.obs.bench import compare_docs, run_suite
+    from repro.obs.bench_html import write_bench
+
+    names = args.benchmarks.split(",") if args.benchmarks else None
+    doc = run_suite(
+        names=names,
+        scale=args.scale,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        backend=_backend(args),
+        workers=_workers(args),
+        log=lambda line: print(line, file=sys.stderr),
+    )
+    report = None
+    if args.compare:
+        report = compare_docs(
+            _load_bench_doc(args.compare), doc,
+            k_sigma=args.k_sigma, rel_tol=args.rel_tol,
+        )
+    written = write_bench(
+        doc,
+        json_path=args.json,
+        html_path=args.html,
+        history_path=args.history,
+        compare=report,
+    )
+    if args.update_baseline:
+        with open(args.update_baseline, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        written.append(args.update_baseline)
+    if written:
+        print(f"wrote {', '.join(written)}", file=sys.stderr)
+    if report is not None:
+        return _bench_verdict(report, args.strict)
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.obs.bench import compare_docs
+
+    report = compare_docs(
+        _load_bench_doc(args.baseline),
+        _load_bench_doc(args.current),
+        k_sigma=args.k_sigma,
+        rel_tol=args.rel_tol,
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+    return _bench_verdict(report, args.strict)
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from repro.obs.bench import load_history
+    from repro.obs.bench_html import render_bench_html
+
+    history = load_history(args.history)
+    if not history:
+        print(f"no valid runs in {args.history}", file=sys.stderr)
+        return 1
+    latest, earlier = history[-1], history[:-1]
+    with open(args.html, "w", encoding="utf-8") as fh:
+        fh.write(render_bench_html(latest, history=earlier))
+    print(
+        f"wrote {args.html} ({len(history)} run(s) in {args.history})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _add_bench_compare_knobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--k-sigma", type=float, default=3.0, metavar="K",
+        help="noise-band width in robust sigmas (MAD * 1.4826)",
+    )
+    parser.add_argument(
+        "--rel-tol", type=float, default=0.10, metavar="FRAC",
+        help="relative floor of the noise band (fraction of baseline)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="enforce regressions even when fingerprints differ",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ktiler",
@@ -500,6 +626,63 @@ def build_parser() -> argparse.ArgumentParser:
                    help="self-contained HTML report output path")
     _add_common(p)
     p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser(
+        "bench",
+        help=(
+            "statistical benchmark harness: repeated phase-attributed "
+            "timings, history trajectory, noise-aware regression checks"
+        ),
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    b = bench_sub.add_parser(
+        "run", help="run the suite; write JSON/HTML, append history"
+    )
+    b.add_argument("--repeats", type=int, default=5, metavar="N",
+                   help="timed repeats per benchmark")
+    b.add_argument("--warmup", type=int, default=1, metavar="K",
+                   help="untimed warmup runs per benchmark")
+    b.add_argument("--benchmarks", metavar="A,B", default=None,
+                   help="comma-separated subset of the registered suite")
+    b.add_argument("--scale", choices=("full", "quick"), default="full",
+                   help="workload sizes (quick = sub-second smoke)")
+    b.add_argument("--json", metavar="PATH", default="bench.json",
+                   help="bench-run document output path")
+    b.add_argument("--html", metavar="PATH", default="bench.html",
+                   help="self-contained HTML dashboard output path")
+    b.add_argument("--history", metavar="PATH", default=None,
+                   help="append-only JSONL trajectory to read and extend")
+    b.add_argument("--compare", metavar="BASELINE", default=None,
+                   help="baseline bench-run JSON to check against")
+    b.add_argument("--update-baseline", metavar="PATH", default=None,
+                   help="also write this run as the new baseline")
+    b.add_argument("--sim-backend", choices=BACKENDS, default=None,
+                   help="L2 replay engine (recorded in the fingerprint)")
+    b.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="worker count (recorded in the fingerprint)")
+    _add_bench_compare_knobs(b)
+    b.set_defaults(func=_cmd_bench_run)
+
+    b = bench_sub.add_parser(
+        "compare",
+        help="compare two bench-run JSONs; exit 2 on regression",
+    )
+    b.add_argument("baseline", help="baseline bench-run JSON")
+    b.add_argument("current", help="fresh bench-run JSON to judge")
+    b.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the comparison report as JSON")
+    _add_bench_compare_knobs(b)
+    b.set_defaults(func=_cmd_bench_compare)
+
+    b = bench_sub.add_parser(
+        "report", help="render the HTML dashboard from a history file"
+    )
+    b.add_argument("--history", metavar="PATH", default="BENCH_history.jsonl",
+                   help="JSONL trajectory to render")
+    b.add_argument("--html", metavar="PATH", default="bench.html",
+                   help="dashboard output path")
+    b.set_defaults(func=_cmd_bench_report)
 
     return parser
 

@@ -168,17 +168,20 @@ def application_tile(
         tiling = tiling_memo.get(merged_nodes, _MISSING)
         if tiling is _MISSING:
             stats.tilings_evaluated += 1
-            tiling = cluster_tile(
-                merged_nodes,
-                graph,
-                block_graph,
-                mem_lines,
-                perf_tables,
-                cache_bytes,
-                launch_overhead_us=launch_overhead_us,
-                include_anti=include_anti,
-                tracer=tracer,
-            )
+            with tracer.span(
+                "tile.cluster", cat="scheduler", nodes=len(merged_nodes)
+            ):
+                tiling = cluster_tile(
+                    merged_nodes,
+                    graph,
+                    block_graph,
+                    mem_lines,
+                    perf_tables,
+                    cache_bytes,
+                    launch_overhead_us=launch_overhead_us,
+                    include_anti=include_anti,
+                    tracer=tracer,
+                )
             tiling_memo[merged_nodes] = tiling
         elif merged_nodes in speculative:
             # First consumption of a speculatively pre-computed tiling:

@@ -233,23 +233,29 @@ class KernelProfiler:
                         profile.tallies[(combo, grid)] = restored[grid]
                     return profile
         prefetched = self._prefetched.pop((kernel, combo), None)
-        if prefetched is not None and all(g in prefetched for g in missing):
-            for grid in missing:
-                profile.tallies[(combo, grid)] = prefetched[grid]
-        elif self.workers > 1 and len(missing) > 1:
-            tasks = [
-                (kernel, combo, grid, self.spec, self.sim.backend)
-                for grid in missing
-            ]
-            tallies = parallel_map(
-                _tally_task, tasks, workers=self.workers,
-                tracer=self.tracer, label="profile",
-            )
-            for grid, tally in zip(missing, tallies):
-                profile.tallies[(combo, grid)] = tally
-        else:
-            for grid in missing:
-                profile.tallies[(combo, grid)] = self._tally(kernel, combo, grid)
+        with self.tracer.span(
+            "profiler.measure", cat="analyzer",
+            kernel=kernel.name, grids=len(missing),
+        ):
+            if prefetched is not None and all(g in prefetched for g in missing):
+                for grid in missing:
+                    profile.tallies[(combo, grid)] = prefetched[grid]
+            elif self.workers > 1 and len(missing) > 1:
+                tasks = [
+                    (kernel, combo, grid, self.spec, self.sim.backend)
+                    for grid in missing
+                ]
+                tallies = parallel_map(
+                    _tally_task, tasks, workers=self.workers,
+                    tracer=self.tracer, label="profile",
+                )
+                for grid, tally in zip(missing, tallies):
+                    profile.tallies[(combo, grid)] = tally
+            else:
+                for grid in missing:
+                    profile.tallies[(combo, grid)] = self._tally(
+                        kernel, combo, grid
+                    )
         if key is not None:
             from repro.store.artifacts import profile_to_dict
 

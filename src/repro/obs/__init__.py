@@ -12,7 +12,13 @@ The subsystem has four pieces:
 * :mod:`repro.obs.report` — JSON and Prometheus-text metric dumps;
 * :mod:`repro.obs.audit` — opt-in L2 miss attribution (cold /
   capacity / conflict, per kernel and buffer) and the default-vs-tiled
-  schedule auditor behind ``ktiler explain``.
+  schedule auditor behind ``ktiler explain``;
+* :mod:`repro.obs.bench` / :mod:`repro.obs.bench_html` — the
+  statistical benchmark harness behind ``ktiler bench``: repeated
+  phase-attributed timings with median/MAD/bootstrap-CI statistics,
+  environment fingerprints, an append-only history trajectory, a
+  noise-aware regression detector, and a self-contained HTML
+  dashboard.
 
 Quick start::
 
@@ -37,6 +43,27 @@ from repro.obs.report import (
     write_metrics,
 )
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    PHASES,
+    BenchDelta,
+    BenchResult,
+    CompareReport,
+    SampleStats,
+    append_history,
+    bootstrap_ci,
+    compare_docs,
+    environment_fingerprint,
+    fingerprint_noise_key,
+    load_history,
+    mad,
+    noise_band_s,
+    phase_breakdown,
+    run_benchmark,
+    run_suite,
+    validate_bench,
+)
+from repro.obs.bench_html import render_bench_html, write_bench
 from repro.obs.audit import (
     AUDIT_SCHEMA_VERSION,
     MISS_CLASSES,
@@ -74,4 +101,24 @@ __all__ = [
     "render_html",
     "validate_audit",
     "write_audit",
+    "BENCH_SCHEMA_VERSION",
+    "PHASES",
+    "BenchDelta",
+    "BenchResult",
+    "CompareReport",
+    "SampleStats",
+    "append_history",
+    "bootstrap_ci",
+    "compare_docs",
+    "environment_fingerprint",
+    "fingerprint_noise_key",
+    "load_history",
+    "mad",
+    "noise_band_s",
+    "phase_breakdown",
+    "run_benchmark",
+    "run_suite",
+    "validate_bench",
+    "render_bench_html",
+    "write_bench",
 ]

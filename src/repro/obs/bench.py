@@ -1,0 +1,900 @@
+"""Statistical benchmark harness with phase attribution (``repro.obs.bench``).
+
+The paper's whole argument is a performance delta, yet single-shot
+timings cannot distinguish a real regression from scheduler jitter on a
+shared machine.  This module is the perf analogue of the audit layer:
+every number it reports carries a noise model and an attribution.
+
+Pieces, bottom to top:
+
+* **robust statistics** — :func:`median`, :func:`mad` (median absolute
+  deviation), :func:`bootstrap_ci` (seeded percentile bootstrap of the
+  median, deterministic for a given sample list), and modified-z-score
+  :func:`outlier_indices`; bundled per metric as :class:`SampleStats`.
+* **phase attribution** — :func:`phase_breakdown` folds a tracer's
+  wall-clock span events into the pipeline phases (trace → block graph
+  → profile → partition → tile → replay), using *exclusive* span time
+  so nested spans are never double-counted.  Benchmarks run under a
+  fresh :class:`~repro.obs.tracer.Tracer` per repeat, so a regression
+  can name the phase that slowed, not just the total.
+* **environment fingerprint** — :func:`environment_fingerprint`
+  attaches git sha, python, platform, cpu count, sim backend, and
+  worker count to every run; :func:`fingerprint_noise_key` hashes the
+  machine-stable subset (the git sha is deliberately excluded: it
+  changes every commit without changing the machine's noise profile),
+  so the regression detector knows when two runs are comparable.
+* **harness** — :func:`run_benchmark` (warmup + N timed repeats of one
+  callable) and :func:`run_suite` (the registered CI-friendly suite),
+  producing a schema-versioned run document (:func:`validate_bench`).
+* **history** — :func:`append_history` / :func:`load_history` maintain
+  an append-only ``BENCH_history.jsonl`` trajectory (one JSON line per
+  run; corrupt lines are skipped, never fatal).
+* **regression detector** — :func:`compare_docs` checks a fresh run
+  against a baseline (``benchmarks/baseline.json``) inside a noise
+  band derived from both runs' MADs, and attributes each regression to
+  the worst-offending phase.
+
+Surfaced as ``ktiler bench run|compare|report`` (see
+:mod:`repro.cli`); the HTML dashboard lives in
+:mod:`repro.obs.bench_html`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs.tracer import Tracer
+from repro.store.fingerprint import content_key
+
+#: Version stamp of every bench-run document and history line.
+BENCH_SCHEMA_VERSION = 1
+
+#: Pipeline phases, in pipeline order.  ``other`` absorbs spans with no
+#: mapping and the un-spanned remainder of the wall time.
+PHASES = (
+    "trace", "block_graph", "profile", "partition", "tile", "replay", "other",
+)
+
+#: Span name -> phase.  ``parallel.map`` spans are mapped through their
+#: ``label`` arg instead (see :func:`span_phase`), and benchmarks can
+#: self-annotate with a ``bench.<phase>`` span.
+_PHASE_BY_SPAN = {
+    "ktiler.instrument": "trace",
+    "fig2.analyze": "trace",
+    "ktiler.block_graph": "block_graph",
+    "ktiler.mem_lines": "block_graph",
+    "profiler.measure": "profile",
+    "suitability.profile": "profile",
+    "ktiler.plan": "partition",
+    "sched.speculate": "tile",
+    "tile.cluster": "tile",
+    "tally_schedule": "replay",
+    "audit.replay": "replay",
+    "fig2.default": "replay",
+    "fig2.tiled": "replay",
+    "fig3.grid": "replay",
+}
+
+_PHASE_BY_POOL_LABEL = {
+    "profile": "profile",
+    "profile.graph": "profile",
+    "plan": "partition",
+    "replay": "replay",
+}
+
+
+# ----------------------------------------------------------------------
+# Robust statistics
+# ----------------------------------------------------------------------
+def median(samples: Sequence[float]) -> float:
+    """The sample median (numpy semantics: mean of the middle pair)."""
+    if not len(samples):
+        raise ValueError("median of an empty sample list")
+    return float(np.median(np.asarray(samples, dtype=float)))
+
+
+def mad(samples: Sequence[float]) -> float:
+    """Median absolute deviation around the median (unscaled).
+
+    Multiply by 1.4826 to estimate a gaussian sigma; the detector does
+    this internally when it builds noise bands.
+    """
+    xs = np.asarray(samples, dtype=float)
+    if not xs.size:
+        raise ValueError("mad of an empty sample list")
+    return float(np.median(np.abs(xs - np.median(xs))))
+
+
+#: MAD -> sigma for gaussian noise.
+MAD_TO_SIGMA = 1.4826
+
+#: Fixed bootstrap seed: the CI of a given sample list is reproducible.
+_BOOTSTRAP_SEED = 20190325  # DATE 2019
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int = _BOOTSTRAP_SEED,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval of the median.
+
+    Deterministic: the resampling RNG is seeded, so re-running the
+    statistics over the same samples reproduces the interval bit for
+    bit (the run documents are diffable).
+    """
+    xs = np.asarray(samples, dtype=float)
+    if not xs.size:
+        raise ValueError("bootstrap_ci of an empty sample list")
+    if xs.size == 1:
+        return float(xs[0]), float(xs[0])
+    rng = np.random.default_rng(seed)
+    draws = rng.integers(0, xs.size, size=(n_boot, xs.size))
+    medians = np.median(xs[draws], axis=1)
+    lo = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(medians, lo)),
+        float(np.quantile(medians, 1.0 - lo)),
+    )
+
+
+def outlier_indices(
+    samples: Sequence[float], threshold: float = 3.5
+) -> List[int]:
+    """Indices of modified-z-score outliers (|z| > ``threshold``).
+
+    z = 0.6745 * (x - median) / MAD (Iglewicz & Hoaglin).  A zero MAD
+    (all repeats identical to timer resolution) flags nothing.
+    """
+    xs = np.asarray(samples, dtype=float)
+    if not xs.size:
+        return []
+    med = np.median(xs)
+    spread = np.median(np.abs(xs - med))
+    if spread == 0.0:
+        return []
+    z = 0.6745 * (xs - med) / spread
+    return [int(i) for i in np.nonzero(np.abs(z) > threshold)[0]]
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Summary statistics of one repeated measurement (seconds)."""
+
+    samples: Tuple[float, ...]
+    median: float
+    mad: float
+    mean: float
+    min: float
+    max: float
+    ci95: Tuple[float, float]
+    outliers: Tuple[int, ...]
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "SampleStats":
+        xs = [float(s) for s in samples]
+        return cls(
+            samples=tuple(xs),
+            median=median(xs),
+            mad=mad(xs),
+            mean=float(np.mean(xs)),
+            min=float(np.min(xs)),
+            max=float(np.max(xs)),
+            ci95=bootstrap_ci(xs),
+            outliers=tuple(outlier_indices(xs)),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "samples": [round(s, 6) for s in self.samples],
+            "median": round(self.median, 6),
+            "mad": round(self.mad, 6),
+            "mean": round(self.mean, 6),
+            "min": round(self.min, 6),
+            "max": round(self.max, 6),
+            "ci95": [round(self.ci95[0], 6), round(self.ci95[1], 6)],
+            "outliers": list(self.outliers),
+        }
+
+
+# ----------------------------------------------------------------------
+# Phase attribution
+# ----------------------------------------------------------------------
+def span_phase(event: dict) -> Optional[str]:
+    """The pipeline phase a wall-clock span belongs to, or None."""
+    name = event.get("name", "")
+    if name == "parallel.map":
+        label = (event.get("args") or {}).get("label")
+        return _PHASE_BY_POOL_LABEL.get(label)
+    if name.startswith("bench."):
+        suffix = name[len("bench."):]
+        if suffix in PHASES:
+            return suffix
+    return _PHASE_BY_SPAN.get(name)
+
+
+def phase_breakdown(
+    events: Sequence[dict], wall_s: Optional[float] = None
+) -> Dict[str, float]:
+    """Fold wall-clock span events into per-phase *exclusive* seconds.
+
+    Nested spans (``ktiler.plan`` containing ``tile.cluster`` containing
+    ``profiler.measure``) are resolved by containment: each span's
+    duration minus its direct children's durations counts toward its
+    own phase, so the totals partition the spanned time exactly.  With
+    ``wall_s`` given, the un-spanned remainder of the wall time is
+    added to ``other`` and the breakdown sums to ``wall_s``.
+    """
+    spans = [
+        e for e in events
+        if e.get("ph") == "X" and "dur" in e and "ts" in e
+    ]
+    # Parents sort before children at equal start (longer first).
+    spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+    exclusive = [float(e["dur"]) for e in spans]
+    top_level_us = 0.0
+    stack: List[Tuple[float, int]] = []  # (end_ts, span index)
+    for i, e in enumerate(spans):
+        ts, dur = float(e["ts"]), float(e["dur"])
+        while stack and ts >= stack[-1][0] - 1e-9:
+            stack.pop()
+        if stack:
+            exclusive[stack[-1][1]] -= dur
+        else:
+            top_level_us += dur
+        stack.append((ts + dur, i))
+    totals = {phase: 0.0 for phase in PHASES}
+    for e, excl_us in zip(spans, exclusive):
+        phase = span_phase(e) or "other"
+        totals[phase] += max(0.0, excl_us) / 1e6
+    if wall_s is not None:
+        totals["other"] += max(0.0, wall_s - top_level_us / 1e6)
+    return totals
+
+
+# ----------------------------------------------------------------------
+# Environment fingerprint
+# ----------------------------------------------------------------------
+#: Fingerprint fields that shape the machine's noise profile; the hash
+#: of these (:func:`fingerprint_noise_key`) gates baseline comparisons.
+NOISE_KEY_FIELDS = (
+    "python", "implementation", "platform", "machine", "cpu_count",
+    "sim_backend", "workers", "numpy",
+)
+
+
+def _git_sha() -> str:
+    for env_var in ("GITHUB_SHA", "CI_COMMIT_SHA"):
+        sha = os.environ.get(env_var)
+        if sha:
+            return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def environment_fingerprint(
+    backend: Optional[str] = None, workers: Optional[int] = None
+) -> dict:
+    """Everything a sample's value may depend on, plus the git sha.
+
+    ``backend``/``workers`` resolve through the same precedence the
+    pipeline itself uses (argument > environment > default), so the
+    fingerprint records what actually ran, not what was requested.
+    """
+    from repro.gpusim.fast_cache import resolve_backend
+    from repro.parallel import resolve_workers
+
+    fp = {
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "sim_backend": resolve_backend(backend),
+        "workers": resolve_workers(workers),
+        "numpy": np.__version__,
+    }
+    fp["noise_key"] = fingerprint_noise_key(fp)
+    return fp
+
+
+def fingerprint_noise_key(fp: dict) -> str:
+    """sha256 over the machine-stable fingerprint fields.
+
+    Two runs are noise-comparable iff their keys match.  The git sha is
+    excluded on purpose: the whole point of the trajectory is comparing
+    *across* commits on one machine.
+    """
+    return content_key({k: fp.get(k) for k in NOISE_KEY_FIELDS})
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+@dataclass
+class BenchResult:
+    """One benchmark's repeated measurement, fully summarized."""
+
+    name: str
+    repeats: int
+    warmup: int
+    wall: SampleStats
+    cpu: SampleStats
+    #: phase -> {"median": s, "mad": s} across the timed repeats.
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "wall_s": self.wall.as_dict(),
+            "cpu_s": self.cpu.as_dict(),
+            "phases": {
+                phase: {
+                    "median": round(stats["median"], 6),
+                    "mad": round(stats["mad"], 6),
+                }
+                for phase, stats in sorted(self.phases.items())
+            },
+        }
+
+
+def run_benchmark(
+    name: str,
+    fn: Callable[[Tracer], object],
+    repeats: int = 5,
+    warmup: int = 1,
+) -> BenchResult:
+    """Time ``fn`` (called with a fresh Tracer per run) statistically.
+
+    ``warmup`` untimed calls absorb import, allocator, and cache
+    warmup effects; ``repeats`` timed calls follow.  Wall time is
+    ``perf_counter``, CPU time is ``process_time`` (child processes of
+    a parallel run are invisible to it — the wall clock is the headline
+    number, CPU is the corroborating witness).  Each repeat's tracer
+    events fold into a per-phase breakdown, summarized as median/MAD
+    per phase.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(max(0, warmup)):
+        fn(Tracer())
+    wall: List[float] = []
+    cpu: List[float] = []
+    breakdowns: List[Dict[str, float]] = []
+    for _ in range(repeats):
+        tracer = Tracer()
+        t_wall = time.perf_counter()
+        t_cpu = time.process_time()
+        fn(tracer)
+        wall_s = time.perf_counter() - t_wall
+        cpu_s = time.process_time() - t_cpu
+        wall.append(wall_s)
+        cpu.append(cpu_s)
+        breakdowns.append(phase_breakdown(tracer.events, wall_s=wall_s))
+    phases: Dict[str, Dict[str, float]] = {}
+    for phase in PHASES:
+        series = [b.get(phase, 0.0) for b in breakdowns]
+        if any(s > 0.0 for s in series):
+            phases[phase] = {"median": median(series), "mad": mad(series)}
+    return BenchResult(
+        name=name,
+        repeats=repeats,
+        warmup=warmup,
+        wall=SampleStats.from_samples(wall),
+        cpu=SampleStats.from_samples(cpu),
+        phases=phases,
+    )
+
+
+# ----------------------------------------------------------------------
+# The registered suite
+# ----------------------------------------------------------------------
+#: Workload sizes per scale.  ``full`` is the CI/history suite (a few
+#: seconds per benchmark run); ``quick`` is the sub-second smoke used
+#: by the tier-1 tests.
+_SCALES = {
+    "full": dict(pipeline_size=512, hs_frame=128, hs_levels=2, hs_iters=5,
+                 replay_image=768, replay_repeats=3),
+    "quick": dict(pipeline_size=128, hs_frame=64, hs_levels=2, hs_iters=2,
+                  replay_image=256, replay_repeats=2),
+}
+
+BENCH_SCALES = tuple(_SCALES)
+
+
+def _bench_pipeline_plan(sizes: dict) -> Callable[[Tracer], object]:
+    """Full pipeline (trace -> block graph -> profile -> tile) on Fig. 1."""
+    from repro.apps import build_pipeline
+    from repro.core import KTiler, KTilerConfig
+    from repro.gpusim.freq import NOMINAL
+
+    def run(tracer: Tracer):
+        app = build_pipeline(size=sizes["pipeline_size"])
+        ktiler = KTiler(
+            app.graph,
+            config=KTilerConfig(launch_overhead_us=2.0),
+            tracer=tracer,
+            backend="fast",
+        )
+        return ktiler.plan(NOMINAL)
+
+    return run
+
+
+def _bench_hsopticalflow_plan(sizes: dict) -> Callable[[Tracer], object]:
+    """The scaled-down optical-flow application end to end."""
+    from repro.apps import build_hsopticalflow
+    from repro.core import KTiler, KTilerConfig
+    from repro.gpusim.freq import NOMINAL
+
+    def run(tracer: Tracer):
+        app = build_hsopticalflow(
+            frame_size=sizes["hs_frame"],
+            levels=sizes["hs_levels"],
+            jacobi_iters=sizes["hs_iters"],
+        )
+        ktiler = KTiler(
+            app.graph,
+            config=KTilerConfig(launch_overhead_us=2.0),
+            tracer=tracer,
+            backend="fast",
+        )
+        return ktiler.plan(NOMINAL)
+
+    return run
+
+
+def _bench_pipeline_compare(sizes: dict) -> Callable[[Tracer], object]:
+    """Replay-dominated: default-vs-tiled comparison of a memoized plan."""
+    from repro.apps import build_pipeline
+    from repro.core import KTiler, KTilerConfig
+    from repro.gpusim.freq import NOMINAL
+    from repro.runtime import compare_default_vs_ktiler
+
+    app = build_pipeline(size=sizes["pipeline_size"])
+    ktiler = KTiler(
+        app.graph,
+        config=KTilerConfig(launch_overhead_us=2.0),
+        backend="fast",
+    )
+    ktiler.plan(NOMINAL)  # planning cost stays out of the timed region
+
+    def run(tracer: Tracer):
+        return compare_default_vs_ktiler(ktiler, [NOMINAL], tracer=tracer)
+
+    return run
+
+
+def _bench_replay_raw(sizes: dict) -> Callable[[Tracer], object]:
+    """The fast engine's raw replay of a production-shaped line stream."""
+    from repro.gpusim.fast_cache import FastSetAssocCache
+    from repro.graph.buffers import BufferAllocator
+    from repro.kernels.pointwise import ScaleKernel
+
+    side = sizes["replay_image"]
+    alloc = BufferAllocator()
+    src = alloc.new_image("src", side, side)
+    out = alloc.new_image("out", side, side)
+    kernel = ScaleKernel(src, out, 2.0)
+    lines, writes, _ = kernel.range_line_arrays(range(kernel.num_blocks), 7)
+    lines = np.tile(lines, sizes["replay_repeats"])
+    writes = np.tile(writes, sizes["replay_repeats"])
+
+    def run(tracer: Tracer):
+        cache = FastSetAssocCache(num_sets=1024, assoc=16, line_bytes=128)
+        with tracer.span("bench.replay", cat="bench", accesses=int(lines.size)):
+            return cache.replay_arrays(lines, writes)
+
+    return run
+
+
+#: name -> factory(sizes) -> fn(tracer).  Insertion order is run order.
+BENCH_SUITE: Dict[str, Callable[[dict], Callable[[Tracer], object]]] = {
+    "pipeline.plan": _bench_pipeline_plan,
+    "hsopticalflow.plan": _bench_hsopticalflow_plan,
+    "pipeline.compare": _bench_pipeline_compare,
+    "replay.raw": _bench_replay_raw,
+}
+
+
+def run_suite(
+    names: Optional[Sequence[str]] = None,
+    scale: str = "full",
+    repeats: int = 5,
+    warmup: int = 1,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run (a subset of) the registered suite; return the run document.
+
+    The document is schema-versioned, self-describing (environment
+    fingerprint, harness config), validated before it is returned, and
+    is what ``ktiler bench run`` writes, appends to the history, and
+    compares against the baseline.
+    """
+    if scale not in _SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {BENCH_SCALES}")
+    sizes = _SCALES[scale]
+    selected = list(names) if names else list(BENCH_SUITE)
+    unknown = [n for n in selected if n not in BENCH_SUITE]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmarks {unknown}; registered: {list(BENCH_SUITE)}"
+        )
+    results: List[BenchResult] = []
+    for name in selected:
+        fn = BENCH_SUITE[name](sizes)
+        result = run_benchmark(name, fn, repeats=repeats, warmup=warmup)
+        if log is not None:
+            top = max(
+                result.phases.items(),
+                key=lambda kv: kv[1]["median"],
+                default=("other", {"median": 0.0}),
+            )
+            log(
+                f"{name}: median {result.wall.median:.3f}s "
+                f"(MAD {result.wall.mad * 1e3:.1f}ms, "
+                f"CI95 [{result.wall.ci95[0]:.3f}, {result.wall.ci95[1]:.3f}]s"
+                f", top phase {top[0]} {top[1]['median']:.3f}s)"
+            )
+        results.append(result)
+    doc = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "bench-run",
+        "created_unix": round(time.time(), 3),
+        "environment": environment_fingerprint(backend, workers),
+        "config": {"repeats": repeats, "warmup": warmup, "scale": scale},
+        "benchmarks": [r.as_dict() for r in results],
+    }
+    return validate_bench(doc)
+
+
+# ----------------------------------------------------------------------
+# Schema check
+# ----------------------------------------------------------------------
+_STATS_KEYS = ("samples", "median", "mad", "mean", "min", "max", "ci95",
+               "outliers")
+_ENV_KEYS = ("git_sha", "noise_key") + NOISE_KEY_FIELDS
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ValueError(f"invalid bench document: {message}")
+
+
+def _check_stats(stats: object, where: str) -> None:
+    _require(isinstance(stats, dict), f"{where} is not an object")
+    for key in _STATS_KEYS:
+        _require(key in stats, f"{where} missing '{key}'")
+    _require(
+        isinstance(stats["samples"], list) and stats["samples"],
+        f"{where}.samples missing/empty",
+    )
+    _require(
+        len(stats["samples"]) >= len(stats["outliers"]),
+        f"{where} has more outliers than samples",
+    )
+    lo, hi = stats["ci95"]
+    _require(lo <= hi, f"{where}.ci95 is not ordered")
+    _require(
+        stats["min"] <= stats["median"] <= stats["max"],
+        f"{where} median outside [min, max]",
+    )
+
+
+def validate_bench(doc: dict) -> dict:
+    """Check a bench-run document against the schema; return it unchanged.
+
+    Raises :class:`ValueError` on the first violation (so it chains);
+    run by ``ktiler bench`` on everything it writes or reads and by the
+    CI ``bench-history`` job.
+    """
+    _require(isinstance(doc, dict), "document is not an object")
+    _require(
+        doc.get("schema_version") == BENCH_SCHEMA_VERSION,
+        f"schema_version != {BENCH_SCHEMA_VERSION}",
+    )
+    _require(doc.get("kind") == "bench-run", "kind != 'bench-run'")
+    env = doc.get("environment")
+    _require(isinstance(env, dict), "missing 'environment' object")
+    for key in _ENV_KEYS:
+        _require(key in env, f"environment missing '{key}'")
+    _require(
+        env["noise_key"] == fingerprint_noise_key(env),
+        "environment.noise_key does not match its fields",
+    )
+    config = doc.get("config")
+    _require(isinstance(config, dict), "missing 'config' object")
+    for key in ("repeats", "warmup", "scale"):
+        _require(key in config, f"config missing '{key}'")
+    benchmarks = doc.get("benchmarks")
+    _require(
+        isinstance(benchmarks, list) and benchmarks,
+        "'benchmarks' missing/empty",
+    )
+    for i, bench in enumerate(benchmarks):
+        where = f"benchmarks[{i}]"
+        _require(isinstance(bench, dict), f"{where} is not an object")
+        for key in ("name", "repeats", "warmup", "wall_s", "cpu_s", "phases"):
+            _require(key in bench, f"{where} missing '{key}'")
+        _check_stats(bench["wall_s"], f"{where}.wall_s")
+        _check_stats(bench["cpu_s"], f"{where}.cpu_s")
+        _require(
+            len(bench["wall_s"]["samples"]) == bench["repeats"],
+            f"{where} repeats != wall sample count",
+        )
+        phases = bench["phases"]
+        _require(isinstance(phases, dict), f"{where}.phases is not an object")
+        for phase, stats in phases.items():
+            _require(phase in PHASES, f"{where} unknown phase '{phase}'")
+            _require(
+                isinstance(stats, dict)
+                and "median" in stats and "mad" in stats,
+                f"{where}.phases[{phase}] missing median/mad",
+            )
+    names = [b["name"] for b in benchmarks]
+    _require(len(names) == len(set(names)), "duplicate benchmark names")
+    return doc
+
+
+# ----------------------------------------------------------------------
+# History
+# ----------------------------------------------------------------------
+def append_history(path: str, doc: dict) -> None:
+    """Append one validated run as a single JSON line (append-only)."""
+    line = json.dumps(validate_bench(doc), sort_keys=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(line + "\n")
+
+
+def load_history(path: str) -> List[dict]:
+    """All valid runs in a history file, oldest first.
+
+    Corrupt or foreign lines (a torn append, a schema bump) are
+    skipped: the trajectory degrades, it never crashes the tooling.
+    """
+    if not os.path.exists(path):
+        return []
+    runs: List[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                runs.append(validate_bench(json.loads(line)))
+            except (ValueError, TypeError):
+                continue
+    return runs
+
+
+# ----------------------------------------------------------------------
+# Regression detector
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BenchDelta:
+    """One benchmark's baseline-vs-current comparison."""
+
+    name: str
+    baseline_s: float
+    current_s: float
+    band_s: float
+    regressed: bool
+    improved: bool
+    #: The worst-offending phase of a regression (None when the phase
+    #: deltas are all inside their own bands or no phases were traced).
+    phase: Optional[str] = None
+    phase_delta_s: float = 0.0
+
+    @property
+    def delta_s(self) -> float:
+        return self.current_s - self.baseline_s
+
+    @property
+    def ratio(self) -> float:
+        return self.current_s / self.baseline_s if self.baseline_s else 1.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "baseline_s": round(self.baseline_s, 6),
+            "current_s": round(self.current_s, 6),
+            "delta_s": round(self.delta_s, 6),
+            "ratio": round(self.ratio, 4),
+            "band_s": round(self.band_s, 6),
+            "regressed": self.regressed,
+            "improved": self.improved,
+            "phase": self.phase,
+            "phase_delta_s": round(self.phase_delta_s, 6),
+        }
+
+
+@dataclass
+class CompareReport:
+    """The regression detector's verdict over a whole run pair."""
+
+    deltas: List[BenchDelta]
+    fingerprint_match: bool
+    baseline_sha: str
+    current_sha: str
+    k_sigma: float
+    rel_tol: float
+    only_in_baseline: List[str] = field(default_factory=list)
+    only_in_current: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[BenchDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def as_dict(self) -> dict:
+        return {
+            "fingerprint_match": self.fingerprint_match,
+            "baseline_sha": self.baseline_sha,
+            "current_sha": self.current_sha,
+            "k_sigma": self.k_sigma,
+            "rel_tol": self.rel_tol,
+            "ok": self.ok,
+            "deltas": [d.as_dict() for d in self.deltas],
+            "only_in_baseline": list(self.only_in_baseline),
+            "only_in_current": list(self.only_in_current),
+        }
+
+    def format_table(self) -> str:
+        lines = [
+            f"baseline {self.baseline_sha[:12]} -> "
+            f"current {self.current_sha[:12]} "
+            f"(fingerprints {'match' if self.fingerprint_match else 'DIFFER'})",
+            f"{'benchmark':<24} {'baseline':>10} {'current':>10} "
+            f"{'delta':>9} {'band':>9}  verdict",
+        ]
+        for d in self.deltas:
+            if d.regressed:
+                verdict = "REGRESSED"
+                if d.phase:
+                    verdict += f" ({d.phase} +{d.phase_delta_s:.3f}s)"
+            elif d.improved:
+                verdict = "improved"
+            else:
+                verdict = "ok"
+            lines.append(
+                f"{d.name:<24} {d.baseline_s:>9.3f}s {d.current_s:>9.3f}s "
+                f"{d.delta_s:>+8.3f}s {d.band_s:>8.3f}s  {verdict}"
+            )
+        for name in self.only_in_baseline:
+            lines.append(f"{name:<24} missing from the current run")
+        for name in self.only_in_current:
+            lines.append(f"{name:<24} not in the baseline (new benchmark)")
+        return "\n".join(lines)
+
+
+def noise_band_s(
+    baseline_median: float,
+    baseline_mad: float,
+    current_mad: float,
+    k_sigma: float = 3.0,
+    rel_tol: float = 0.10,
+    abs_floor_s: float = 1e-3,
+) -> float:
+    """The slowdown a comparison tolerates before it is a regression.
+
+    The statistical term converts the worse of the two MADs to a sigma
+    estimate and takes ``k_sigma`` of it; the relative and absolute
+    floors keep sub-millisecond benchmarks and very quiet machines from
+    flagging timer jitter.
+    """
+    sigma = MAD_TO_SIGMA * max(baseline_mad, current_mad)
+    return max(k_sigma * sigma, rel_tol * baseline_median, abs_floor_s)
+
+
+def _worst_phase(
+    base_phases: dict, cur_phases: dict, k_sigma: float, rel_tol: float
+) -> Tuple[Optional[str], float]:
+    """The phase whose median slowed the most beyond its own band."""
+    worst: Optional[str] = None
+    worst_delta = 0.0
+    for phase in PHASES:
+        base = base_phases.get(phase)
+        cur = cur_phases.get(phase)
+        if base is None and cur is None:
+            continue
+        base_median = base["median"] if base else 0.0
+        base_mad = base["mad"] if base else 0.0
+        cur_median = cur["median"] if cur else 0.0
+        cur_mad = cur["mad"] if cur else 0.0
+        delta = cur_median - base_median
+        band = noise_band_s(
+            base_median, base_mad, cur_mad,
+            k_sigma=k_sigma, rel_tol=rel_tol, abs_floor_s=5e-4,
+        )
+        if delta > band and delta > worst_delta:
+            worst, worst_delta = phase, delta
+    return worst, worst_delta
+
+
+def compare_docs(
+    baseline: dict,
+    current: dict,
+    k_sigma: float = 3.0,
+    rel_tol: float = 0.10,
+    abs_floor_s: float = 1e-3,
+) -> CompareReport:
+    """Compare a fresh run against a baseline inside the noise band.
+
+    A benchmark regresses when its median slows by more than
+    :func:`noise_band_s`; the report attributes each regression to the
+    worst-offending phase.  Both documents are schema-checked first.
+    A ``fingerprint_match`` of False (different machine, backend, or
+    worker count) means the comparison is advisory — the caller
+    decides whether to enforce it.
+    """
+    validate_bench(baseline)
+    validate_bench(current)
+    base_by_name = {b["name"]: b for b in baseline["benchmarks"]}
+    cur_by_name = {b["name"]: b for b in current["benchmarks"]}
+    deltas: List[BenchDelta] = []
+    for name, cur in cur_by_name.items():
+        base = base_by_name.get(name)
+        if base is None:
+            continue
+        base_stats, cur_stats = base["wall_s"], cur["wall_s"]
+        band = noise_band_s(
+            base_stats["median"], base_stats["mad"], cur_stats["mad"],
+            k_sigma=k_sigma, rel_tol=rel_tol, abs_floor_s=abs_floor_s,
+        )
+        delta = cur_stats["median"] - base_stats["median"]
+        regressed = delta > band
+        phase: Optional[str] = None
+        phase_delta = 0.0
+        if regressed:
+            phase, phase_delta = _worst_phase(
+                base["phases"], cur["phases"], k_sigma, rel_tol
+            )
+        deltas.append(
+            BenchDelta(
+                name=name,
+                baseline_s=base_stats["median"],
+                current_s=cur_stats["median"],
+                band_s=band,
+                regressed=regressed,
+                improved=delta < -band,
+                phase=phase,
+                phase_delta_s=phase_delta,
+            )
+        )
+    return CompareReport(
+        deltas=deltas,
+        fingerprint_match=(
+            baseline["environment"]["noise_key"]
+            == current["environment"]["noise_key"]
+        ),
+        baseline_sha=baseline["environment"]["git_sha"],
+        current_sha=current["environment"]["git_sha"],
+        k_sigma=k_sigma,
+        rel_tol=rel_tol,
+        only_in_baseline=sorted(set(base_by_name) - set(cur_by_name)),
+        only_in_current=sorted(set(cur_by_name) - set(base_by_name)),
+    )

@@ -1,0 +1,277 @@
+"""Self-contained HTML dashboard for ``ktiler bench`` runs.
+
+One file, no external assets or scripts: trajectory sparklines are
+inline SVG polylines built from the history medians, the per-phase
+stacked bars are proportional-width divs, and regression callouts come
+straight from a :class:`~repro.obs.bench.CompareReport`.  Mirrors the
+``repro.obs.audit`` renderer idiom (validate first, escape everything,
+emit a parts list).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import List, Optional, Sequence
+
+from repro.obs.bench import (
+    PHASES,
+    CompareReport,
+    append_history,
+    validate_bench,
+)
+
+_HTML_STYLE = """
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto;
+       max-width: 70em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; width: 100%; margin: 0.75em 0; }
+th, td { border: 1px solid #ccc; padding: 0.3em 0.6em; text-align: right; }
+th { background: #f2f2f2; } td.name, th.name { text-align: left; }
+.summary { color: #444; }
+.card { border: 1px solid #ddd; border-radius: 6px; padding: 0.8em 1em;
+        margin: 1em 0; }
+.phasebar { display: flex; height: 1.1em; border-radius: 3px;
+            overflow: hidden; margin: 0.4em 0; background: #eee; }
+.phasebar div { height: 100%; }
+.legend span { display: inline-block; margin-right: 1em;
+               font-size: 0.85em; color: #444; }
+.swatch { display: inline-block; width: 0.8em; height: 0.8em;
+          border-radius: 2px; margin-right: 0.3em;
+          vertical-align: -0.1em; }
+.callout { background: #fdecea; border: 1px solid #b00; color: #b00;
+           border-radius: 4px; padding: 0.4em 0.8em; margin: 0.5em 0; }
+.ok { color: #2e7d32; } .neg { color: #b00; }
+svg.spark { vertical-align: middle; }
+"""
+
+#: One stable color per pipeline phase (keyed by PHASES order).
+_PHASE_COLORS = {
+    "trace": "#4a90d9",
+    "block_graph": "#7b61c4",
+    "profile": "#e8a33d",
+    "partition": "#4caf82",
+    "tile": "#d9564a",
+    "replay": "#46b8c8",
+    "other": "#b0b0b0",
+}
+
+
+def _sparkline(
+    values: Sequence[float], width: int = 160, height: int = 36
+) -> str:
+    """Inline SVG polyline of a benchmark's median trajectory."""
+    if len(values) < 2:
+        return "<span class='summary'>(no history yet)</span>"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    pad = 3.0
+    step = (width - 2 * pad) / (len(values) - 1)
+    points = " ".join(
+        f"{pad + i * step:.1f},"
+        f"{height - pad - (v - lo) / span * (height - 2 * pad):.1f}"
+        for i, v in enumerate(values)
+    )
+    last_x = pad + (len(values) - 1) * step
+    last_y = height - pad - (values[-1] - lo) / span * (height - 2 * pad)
+    return (
+        f"<svg class='spark' width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}'>"
+        f"<polyline points='{points}' fill='none' stroke='#4a90d9' "
+        "stroke-width='1.5'/>"
+        f"<circle cx='{last_x:.1f}' cy='{last_y:.1f}' r='2.5' "
+        "fill='#d9564a'/></svg>"
+    )
+
+
+def _phase_bar(phases: dict) -> str:
+    """Stacked proportional-width bar of the per-phase medians."""
+    total = sum(stats["median"] for stats in phases.values())
+    if total <= 0.0:
+        return "<span class='summary'>(no phase data)</span>"
+    cells = []
+    for phase in PHASES:
+        stats = phases.get(phase)
+        if not stats or stats["median"] <= 0.0:
+            continue
+        share = stats["median"] / total
+        cells.append(
+            f"<div style='width:{share * 100:.2f}%;"
+            f"background:{_PHASE_COLORS[phase]}' "
+            f"title='{phase}: {stats['median'] * 1e3:.2f} ms "
+            f"({share * 100:.1f}%)'></div>"
+        )
+    legend = "".join(
+        f"<span><i class='swatch' "
+        f"style='background:{_PHASE_COLORS[phase]}'></i>"
+        f"{phase} {phases[phase]['median'] * 1e3:.2f}&thinsp;ms</span>"
+        for phase in PHASES
+        if phase in phases and phases[phase]["median"] > 0.0
+    )
+    return (
+        f"<div class='phasebar'>{''.join(cells)}</div>"
+        f"<div class='legend'>{legend}</div>"
+    )
+
+
+def render_bench_html(
+    doc: dict,
+    history: Optional[Sequence[dict]] = None,
+    compare: Optional[CompareReport] = None,
+) -> str:
+    """Self-contained dashboard for one (validated) bench-run document.
+
+    ``history`` (older runs, oldest first) feeds the per-benchmark
+    sparklines; ``compare`` adds the baseline verdict table and the
+    red regression callouts.
+    """
+    validate_bench(doc)
+    esc = html.escape
+    env = doc["environment"]
+    config = doc["config"]
+    history = [
+        run for run in (history or [])
+        if run.get("environment", {}).get("noise_key") == env["noise_key"]
+    ]
+    regressed_by_name = {}
+    if compare is not None:
+        regressed_by_name = {d.name: d for d in compare.deltas if d.regressed}
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>ktiler bench dashboard</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        "<h1>ktiler bench dashboard</h1>",
+        "<p class='summary'>"
+        f"commit <code>{esc(str(env['git_sha'])[:12])}</code> &middot; "
+        f"python {esc(env['python'])} &middot; "
+        f"{esc(env['sim_backend'])} backend &middot; "
+        f"{env['workers']} worker(s) &middot; "
+        f"{env['cpu_count']} cpu &middot; "
+        f"scale {esc(str(config['scale']))}, "
+        f"{config['repeats']} repeats + {config['warmup']} warmup &middot; "
+        f"noise key <code>{esc(env['noise_key'][:12])}</code>"
+        "</p>",
+    ]
+    if compare is not None:
+        verdict = (
+            "<span class='ok'>no regressions</span>" if compare.ok
+            else f"<span class='neg'>{len(compare.regressions)} "
+                 "regression(s)</span>"
+        )
+        match = "match" if compare.fingerprint_match else "DIFFER (advisory)"
+        parts.append(
+            f"<p class='summary'>vs baseline "
+            f"<code>{esc(compare.baseline_sha[:12])}</code>: {verdict} "
+            f"&middot; fingerprints {esc(match)} &middot; "
+            f"band = max({compare.k_sigma:g}&sigma;, "
+            f"{compare.rel_tol * 100:g}%)</p>"
+        )
+    for bench in doc["benchmarks"]:
+        name = bench["name"]
+        wall = bench["wall_s"]
+        trajectory = [
+            b["wall_s"]["median"]
+            for run in history
+            for b in run["benchmarks"]
+            if b["name"] == name
+        ] + [wall["median"]]
+        parts.append("<div class='card'>")
+        parts.append(
+            f"<h2>{esc(name)}</h2>"
+            "<p class='summary'>"
+            f"median <b>{wall['median'] * 1e3:.2f} ms</b> "
+            f"&plusmn; {wall['mad'] * 1e3:.2f} ms MAD &middot; "
+            f"CI95 [{wall['ci95'][0] * 1e3:.2f}, "
+            f"{wall['ci95'][1] * 1e3:.2f}] ms &middot; "
+            f"cpu {bench['cpu_s']['median'] * 1e3:.2f} ms &middot; "
+            f"{bench['repeats']} repeats"
+            + (
+                f" &middot; <span class='neg'>{len(wall['outliers'])} "
+                "outlier(s) flagged</span>"
+                if wall["outliers"] else ""
+            )
+            + "</p>"
+        )
+        delta = regressed_by_name.get(name)
+        if delta is not None:
+            phase_note = (
+                f" — slowest phase: <b>{esc(delta.phase)}</b> "
+                f"+{delta.phase_delta_s * 1e3:.2f} ms"
+                if delta.phase else ""
+            )
+            parts.append(
+                "<div class='callout'>REGRESSED: "
+                f"{delta.baseline_s * 1e3:.2f} ms &rarr; "
+                f"{delta.current_s * 1e3:.2f} ms "
+                f"(+{delta.delta_s * 1e3:.2f} ms, band "
+                f"{delta.band_s * 1e3:.2f} ms){phase_note}</div>"
+            )
+        parts.append(_sparkline(trajectory))
+        parts.append(
+            f"<span class='summary'> {len(trajectory)} run(s) on this "
+            "fingerprint</span>"
+        )
+        parts.append(_phase_bar(bench["phases"]))
+        parts.append("</div>")
+    if compare is not None and compare.deltas:
+        parts.append("<h2>Baseline comparison</h2><table>")
+        parts.append(
+            "<tr><th class='name'>benchmark</th><th>baseline</th>"
+            "<th>current</th><th>delta</th><th>band</th>"
+            "<th class='name'>verdict</th></tr>"
+        )
+        for d in compare.deltas:
+            if d.regressed:
+                verdict = "<span class='neg'>REGRESSED</span>"
+                if d.phase:
+                    verdict += f" ({esc(d.phase)})"
+            elif d.improved:
+                verdict = "<span class='ok'>improved</span>"
+            else:
+                verdict = "ok"
+            parts.append(
+                f"<tr><td class='name'>{esc(d.name)}</td>"
+                f"<td>{d.baseline_s * 1e3:.2f} ms</td>"
+                f"<td>{d.current_s * 1e3:.2f} ms</td>"
+                f"<td>{d.delta_s * 1e3:+.2f} ms</td>"
+                f"<td>{d.band_s * 1e3:.2f} ms</td>"
+                f"<td class='name'>{verdict}</td></tr>"
+            )
+        parts.append("</table>")
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_bench(
+    doc: dict,
+    json_path: Optional[str] = None,
+    html_path: Optional[str] = None,
+    history_path: Optional[str] = None,
+    compare: Optional[CompareReport] = None,
+) -> List[str]:
+    """Validate ``doc`` once, then write whichever outputs were asked for.
+
+    The history (if given) is loaded for the sparklines *before* this
+    run is appended to it, so the dashboard's trajectory ends at the
+    current point.  Returns the paths written, in write order.
+    """
+    from repro.obs.bench import load_history
+
+    validate_bench(doc)
+    written: List[str] = []
+    history: List[dict] = []
+    if history_path:
+        history = load_history(history_path)
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        written.append(json_path)
+    if html_path:
+        with open(html_path, "w", encoding="utf-8") as fh:
+            fh.write(render_bench_html(doc, history=history, compare=compare))
+        written.append(html_path)
+    if history_path:
+        append_history(history_path, doc)
+        written.append(history_path)
+    return written

@@ -4,8 +4,11 @@ The JSON form preserves the registry verbatim
 (:meth:`~repro.obs.counters.CounterRegistry.as_dict` plus per-family
 totals); the Prometheus form flattens the dotted metric hierarchy to
 underscore names (``sim.cache.hits`` -> ``sim_cache_hits``) with one
-``# TYPE`` header per family, suitable for ``promtool check metrics``
-or a textfile-collector scrape.
+``# HELP`` + ``# TYPE`` header pair per family and label bodies in
+sorted key order, suitable for ``promtool check metrics`` or a
+textfile-collector scrape.  The exposition is part of the obs
+contract: family order, header order, and label order are all
+deterministic, pinned by a golden-output test.
 """
 
 from __future__ import annotations
@@ -31,6 +34,64 @@ def _prom_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+#: Help text for the stable metric families.  Dynamic families fall
+#: through to the prefix rules below, then to a generic line — every
+#: family always gets a ``# HELP`` header.
+METRIC_HELP: Dict[str, str] = {
+    "cache.hits": "L2 line hits observed outside the simulator core",
+    "parallel.pool.busy_seconds": "summed worker-task wall seconds",
+    "parallel.pool.capacity_seconds": "pool lifetime times worker count",
+    "parallel.pool.utilization": "busy_seconds over capacity_seconds",
+    "parallel.tasks": "tasks executed by the worker pools",
+    "parallel.task_seconds": "wall seconds spent inside worker tasks",
+    "run.busy_us": "simulated microseconds spent executing launches",
+    "run.gap_us": "simulated microseconds lost to launch gaps",
+    "run.l2_hit_rate": "overall L2 hit rate of the replayed schedule",
+    "run.total_us": "simulated end-to-end schedule microseconds",
+    "sched.candidate_edges": "edges considered by the merge loop",
+    "sched.clusters": "clusters in the final partition",
+    "sched.invalid_partitions": "merge previews rejected as invalid",
+    "sched.merge_attempts": "cluster merges attempted",
+    "sched.merges_adopted": "cluster merges adopted",
+    "sched.merges_rejected": "cluster merges rejected on cost",
+    "sched.tiling_cache_hits": "cluster tilings served from the memo",
+    "sched.tilings_evaluated": "cluster tilings computed",
+    "sim.launch.blocks": "blocks issued per simulated launch",
+    "sim.launch.count": "simulated kernel launches",
+    "sim.launch.time_us": "simulated microseconds per launch",
+    "tile.blocks": "blocks covered by the tiled schedule",
+    "tile.rounds": "tiling rounds in the adopted schedule",
+    "audit.predicted_total_saving_us": (
+        "edge-weight model's predicted total saving"
+    ),
+    "audit.actual_total_saving_us": "replayed default-minus-tiled saving",
+    "audit.edge.predicted_us": "per-edge predicted saving",
+    "audit.edge.actual_us": "per-edge replayed saving",
+    "audit.edge.error_abs_us": "per-edge |predicted - actual|",
+    "audit.edge.error_rel": "per-edge relative prediction error",
+}
+
+#: (prefix, help template) rules for dynamically-named families.
+_HELP_PREFIXES = (
+    ("cache.", "L2 cache counter"),
+    ("store.", "artifact-store access counter"),
+    ("audit.miss.", "attributed L2 misses by class"),
+    ("l2_buffers.", "per-buffer L2 line occupancy track"),
+    ("bench.", "benchmark harness measurement"),
+)
+
+
+def metric_help(name: str) -> str:
+    """One-line ``# HELP`` text for a metric family (never empty)."""
+    text = METRIC_HELP.get(name)
+    if text is not None:
+        return text
+    for prefix, template in _HELP_PREFIXES:
+        if name.startswith(prefix):
+            return f"{template} ({name})"
+    return f"repro.obs metric family {name}"
+
+
 def metrics_to_json(registry: CounterRegistry) -> Dict[str, dict]:
     """JSON-ready dict: every family with its samples and total."""
     out = registry.as_dict()
@@ -40,10 +101,15 @@ def metrics_to_json(registry: CounterRegistry) -> Dict[str, dict]:
 
 
 def metrics_to_prometheus(registry: CounterRegistry) -> str:
-    """Prometheus text-format exposition of every metric family."""
+    """Prometheus text-format exposition of every metric family.
+
+    Fully deterministic: families in sorted name order, a ``# HELP``
+    then ``# TYPE`` header per family, samples in sorted label order.
+    """
     lines = []
     for name in registry.names():
         prom = _prom_name(name)
+        lines.append(f"# HELP {prom} {metric_help(name)}")
         lines.append(f"# TYPE {prom} {registry.kind(name)}")
         for labels, value in registry.samples(name):
             if labels:

@@ -7,6 +7,7 @@ one slice per launch, monotone counter tracks), the metric dumps
 """
 
 import json
+import os
 import time
 
 import pytest
@@ -389,6 +390,67 @@ class TestMetricDumps:
         assert len(names) >= 10, names
         text = metrics_to_prometheus(tracer.metrics)
         assert text.count("# TYPE") == len(names)
+        assert text.count("# HELP") == len(names)
+
+
+GOLDEN_PROM = os.path.join(
+    os.path.dirname(__file__), "golden", "metrics_reference.prom"
+)
+
+
+def _golden_prom_registry() -> CounterRegistry:
+    """A fixed registry exercising every exposition feature.
+
+    Counters and gauges, labeled and bare samples, multiple label keys
+    (inserted out of order to prove sorting), a known family, every
+    dynamic-prefix family, and an unknown family for the fallback help
+    line.
+    """
+    reg = CounterRegistry()
+    reg.inc("sim.launch.count", 3)
+    reg.inc("cache.hits", 10, kernel="jacobi", schedule="default")
+    reg.inc("cache.hits", 4, schedule="tiled", kernel="jacobi")
+    reg.inc("store.hits", 2, kind="profile")
+    reg.inc("audit.miss.cold", 7, schedule="default", kernel="warp")
+    reg.set_gauge("run.l2_hit_rate", 0.875, schedule="tiled")
+    reg.set_gauge("l2_buffers.default", 12.0, buffer="img0")
+    reg.set_gauge("custom.family", 1.5)
+    return reg
+
+
+class TestPrometheusGolden:
+    """Scrape-format stability: the exposition is pinned byte for byte.
+
+    Family order, # HELP/# TYPE header order, and label ordering are
+    part of the obs contract — a diff here is an intentional format
+    change and must ship with a regenerated fixture (see TESTING.md).
+    """
+
+    def test_exposition_matches_golden(self):
+        with open(GOLDEN_PROM, "r", encoding="utf-8") as fh:
+            expected = fh.read()
+        assert metrics_to_prometheus(_golden_prom_registry()) == expected
+
+    def test_every_family_has_help_then_type(self):
+        text = metrics_to_prometheus(_golden_prom_registry())
+        lines = text.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("# HELP"):
+                family = line.split()[2]
+                assert lines[i + 1].startswith(f"# TYPE {family} "), line
+
+    def test_label_order_is_input_independent(self):
+        a = CounterRegistry()
+        a.inc("cache.hits", 1, kernel="k", schedule="s")
+        b = CounterRegistry()
+        b.inc("cache.hits", 1, schedule="s", kernel="k")
+        assert metrics_to_prometheus(a) == metrics_to_prometheus(b)
+
+
+def regenerate_golden_prom() -> None:
+    with open(GOLDEN_PROM, "w", encoding="utf-8") as fh:
+        fh.write(metrics_to_prometheus(_golden_prom_registry()))
+    print(f"wrote {GOLDEN_PROM}")
 
 
 class TestInstrumentedSimulator:
@@ -491,3 +553,7 @@ class TestNullTracerOverhead:
             f"instrumented replay {instrumented * 1e3:.2f}ms vs "
             f"untraced {baseline * 1e3:.2f}ms"
         )
+
+
+if __name__ == "__main__":
+    regenerate_golden_prom()
