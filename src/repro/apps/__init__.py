@@ -7,9 +7,11 @@ from repro.apps.hsopticalflow import (
 )
 from repro.apps.pipeline import PipelineApp, build_pipeline
 from repro.apps.synthetic import (
+    PROBE_SHAPES,
     SyntheticApp,
     build_diamond,
     build_jacobi_pingpong,
+    build_probe_graph,
     build_scale_chain,
     build_stencil_chain,
 )
@@ -21,8 +23,10 @@ __all__ = [
     "OpticalFlowApp",
     "horn_schunck_reference",
     "SyntheticApp",
+    "PROBE_SHAPES",
     "build_scale_chain",
     "build_diamond",
     "build_jacobi_pingpong",
+    "build_probe_graph",
     "build_stencil_chain",
 ]

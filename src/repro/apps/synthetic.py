@@ -8,6 +8,8 @@ application.
 
 from __future__ import annotations
 
+import math
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -138,3 +140,106 @@ def build_stencil_chain(
         )
     graph.validate()
     return SyntheticApp(graph, alloc, bufs[0], bufs[-1])
+
+
+#: Probe-graph topologies accepted by :func:`build_probe_graph`.
+PROBE_SHAPES = ("chain", "fan", "grid")
+
+#: Upper bound on probe-graph size; well past the ~15k-kernel regime
+#: the scalability sweep targets, low enough to catch runaway ladders.
+MAX_PROBE_KERNELS = 16384
+
+
+def build_probe_graph(
+    shape: str = "chain",
+    kernels: int = 64,
+    size: int = 32,
+    block=(32, 8),
+    line_bytes: int = 128,
+    seed: int = 0,
+) -> SyntheticApp:
+    """Parameterized scalability-probe graph of exactly ``kernels`` nodes.
+
+    The workload behind ``ktiler profile --sweep``: one topology knob,
+    one size knob, fully deterministic for a given ``seed`` (the seed
+    only jitters the pointwise scale factors, never the structure), so
+    planner work counters measured on it are reproducible across runs
+    and machines.  Three shapes stress different planner regimes:
+
+    * ``chain`` — a producer-consumer line: candidate edges are few and
+      every adopted merge grows one long cluster (deep-cluster Algorithm
+      2 work, cheap Algorithm 1 validity probes);
+    * ``fan`` — one producer feeding ``kernels - 1`` independent
+      consumers: a wide candidate front with no chains (merge-probe and
+      candidate-scan heavy, shallow clusters);
+    * ``grid`` — a wavefront lattice (each node reads its left and up
+      neighbours): quadratic dependency structure where merge validity
+      BFS has real third-path work.
+
+    ``size`` is the image side; the default keeps per-kernel block
+    counts small so the instrumented run stays cheap at 10k+ kernels.
+    """
+    if shape not in PROBE_SHAPES:
+        raise ConfigurationError(
+            f"unknown probe shape '{shape}' (want one of {PROBE_SHAPES})"
+        )
+    if not 1 <= kernels <= MAX_PROBE_KERNELS:
+        raise ConfigurationError(
+            f"kernels must be in [1, {MAX_PROBE_KERNELS}], got {kernels}"
+        )
+    rng = random.Random(seed)
+    alloc = BufferAllocator(line_bytes)
+    graph = KernelGraph(f"probe-{shape}{kernels}")
+
+    def factor() -> float:
+        return round(rng.uniform(0.5, 2.0), 6)
+
+    if shape == "chain":
+        bufs = [alloc.new_image(f"p{i}", size, size) for i in range(kernels)]
+        graph.add(MemsetKernel(bufs[0], 1.0, block), name="init")
+        for i in range(kernels - 1):
+            graph.add(
+                ScaleKernel(bufs[i], bufs[i + 1], factor(), block),
+                name=f"link{i}",
+            )
+        out = bufs[-1]
+        src = bufs[0]
+    elif shape == "fan":
+        src = alloc.new_image("src", size, size)
+        graph.add(MemsetKernel(src, 1.0, block), name="init")
+        out = src
+        for i in range(kernels - 1):
+            leaf = alloc.new_image(f"leaf{i}", size, size)
+            graph.add(ScaleKernel(src, leaf, factor(), block), name=f"fan{i}")
+            out = leaf
+    else:  # grid
+        side = max(1, math.isqrt(kernels))
+        bufs: Dict[tuple, Buffer] = {}
+        count = 0
+        row = 0
+        while count < kernels:
+            for col in range(side):
+                if count >= kernels:
+                    break
+                buf = alloc.new_image(f"g{row}_{col}", size, size)
+                left = bufs.get((row, col - 1))
+                up = bufs.get((row - 1, col))
+                if left is None and up is None:
+                    graph.add(MemsetKernel(buf, 1.0, block), name="init")
+                elif left is not None and up is not None:
+                    graph.add(
+                        AddKernel(left, up, buf, block),
+                        name=f"cell{row}_{col}",
+                    )
+                else:
+                    graph.add(
+                        ScaleKernel(left or up, buf, factor(), block),
+                        name=f"cell{row}_{col}",
+                    )
+                bufs[(row, col)] = buf
+                count += 1
+            row += 1
+        src = bufs[(0, 0)]
+        out = buf
+    graph.validate()
+    return SyntheticApp(graph, alloc, src, out)

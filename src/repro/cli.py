@@ -13,6 +13,8 @@ Regenerates every evaluation artifact of the paper from the terminal:
     $ ktiler demo                 # two-kernel quickstart
     $ ktiler trace                # full observability run (trace + metrics)
     $ ktiler explain              # audit a tiled schedule (JSON + HTML)
+    $ ktiler profile              # profile the planner (counters + stacks)
+    $ ktiler profile --sweep      # fit planner complexity exponents
 
 Every experiment prints the same rows/series the paper reports; see
 EXPERIMENTS.md for paper-vs-measured values.
@@ -45,7 +47,13 @@ from repro.experiments import (
 from repro.experiments.presets import PAPER_SPEC, SCALED_SPEC
 from repro.gpusim.arch import GpuSpec, spec_with_l2
 from repro.gpusim.fast_cache import BACKEND_ENV_VAR, BACKENDS
-from repro.obs import NULL_TRACER, Tracer, write_chrome_trace, write_metrics
+from repro.obs import (
+    NULL_TRACER,
+    PROFILE_SCHEMA_VERSION,
+    Tracer,
+    write_chrome_trace,
+    write_metrics,
+)
 from repro.parallel import WORKERS_ENV_VAR
 from repro.store import STORE_ENV_VAR, resolve_store
 
@@ -148,9 +156,20 @@ def _finish_obs(args: argparse.Namespace, tracer) -> None:
     m.set_gauge("parallel.pool.busy_seconds", busy_s)
     m.set_gauge("parallel.pool.capacity_seconds", capacity_s)
     m.set_gauge("parallel.pool.utilization", utilization)
+    # Planner work digest: only present when a traced run planned
+    # something (the planner.* families exist only then).
+    planner = ""
+    if "planner.footprint_unions" in m:
+        planner = (
+            " | planner unions={} frontier={} weight evals={}".format(
+                int(m.total("planner.footprint_unions")),
+                int(m.total("planner.frontier_updates")),
+                int(m.total("planner.weight_evals")),
+            )
+        )
     print(
         "run summary: store hits={} misses={} writes={} corrupt={} | "
-        "pool busy={:.2f}s capacity={:.2f}s utilization={:.0%}".format(
+        "pool busy={:.2f}s capacity={:.2f}s utilization={:.0%}{}".format(
             int(m.total("store.hits")),
             int(m.total("store.misses")),
             int(m.total("store.writes")),
@@ -158,6 +177,7 @@ def _finish_obs(args: argparse.Namespace, tracer) -> None:
             busy_s,
             capacity_s,
             utilization,
+            planner,
         ),
         file=sys.stderr,
     )
@@ -424,6 +444,134 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Preset applications runnable under ``ktiler profile --preset <name>``:
+#: the ``ktiler explain`` presets plus the three scalability-probe
+#: topologies (which honour ``--kernels`` and ``--seed``).
+PROFILE_PRESETS = EXPLAIN_PRESETS + ("chain", "fan", "grid")
+
+
+def _build_profile_app(args: argparse.Namespace):
+    from repro.apps.synthetic import PROBE_SHAPES, build_probe_graph
+
+    if args.preset in PROBE_SHAPES:
+        return build_probe_graph(
+            shape=args.preset,
+            kernels=args.kernels,
+            size=args.size or 32,
+            seed=args.seed,
+        )
+    return _build_explain_app(args.preset)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.apps.synthetic import PROBE_SHAPES
+    from repro.obs.bench_html import write_profile_html
+    from repro.obs.profile import (
+        build_profile_doc,
+        compare_exponents,
+        load_profile,
+        profile_planner,
+        run_sweep,
+        write_collapsed,
+        write_profile,
+    )
+
+    # Planning must actually run for a profile to mean anything, so the
+    # artifact cache is never consulted here (no --cache-dir effect).
+    tracer = Tracer()
+    spec = _resolve_spec(SCALED_SPEC, args)
+    engine = None if args.engine == "none" else args.engine
+    app = _build_profile_app(args)
+    print(app.graph.summary())
+    capture = profile_planner(
+        app,
+        spec=spec,
+        engine=engine,
+        backend=_backend(args),
+        workers=_workers(args),
+        tracer=tracer,
+    )
+    work = capture["work"]
+    print(
+        "planner work: "
+        + " ".join(f"{k}={v}" for k, v in sorted(work.items()) if v)
+    )
+    if capture["frames"]:
+        top = capture["frames"][0]
+        print(
+            f"hottest frame: {top['stack'][-1]} "
+            f"({top['self_us'] / 1e3:.2f} ms self, {top['calls']} calls)"
+        )
+    sweep = None
+    if args.sweep:
+        shape = args.preset if args.preset in PROBE_SHAPES else "chain"
+        sizes = [int(n) for n in args.sweep_sizes.split(",")]
+        sweep = run_sweep(
+            shape=shape,
+            sizes=sizes,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            spec=spec,
+            backend=_backend(args),
+            workers=_workers(args),
+            seed=args.seed,
+            image_size=args.size or 32,
+            log=lambda line: print(line, file=sys.stderr),
+        )
+        wall_fit = sweep["exponents"]["wall_s"]
+        print(
+            f"sweep({shape}): wall ~ n^{wall_fit['exponent']:.2f} "
+            f"(CI95 [{wall_fit['ci95'][0]:.2f}, {wall_fit['ci95'][1]:.2f}], "
+            f"r2 {wall_fit['r2']:.3f})"
+        )
+        for name, fit in sorted(sweep["exponents"]["work"].items()):
+            print(f"  planner.{name} ~ n^{fit['exponent']:.2f}")
+    doc = build_profile_doc(
+        app.graph.name if hasattr(app.graph, "name") else args.preset,
+        capture=capture,
+        sweep=sweep,
+        backend=_backend(args),
+        workers=_workers(args),
+    )
+    written = []
+    if args.json:
+        write_profile(args.json, doc)
+        written.append(args.json)
+    if args.collapsed:
+        if not capture["frames"]:
+            print(
+                "--collapsed needs a profiling engine (got --engine none)",
+                file=sys.stderr,
+            )
+            return 2
+        write_collapsed(args.collapsed, capture["frames"])
+        written.append(args.collapsed)
+    if args.html:
+        write_profile_html(doc, args.html)
+        written.append(args.html)
+    if written:
+        print(f"wrote {', '.join(written)}", file=sys.stderr)
+    code = 0
+    if args.baseline:
+        drifts = compare_exponents(
+            load_profile(args.baseline), doc, tol=args.drift_tol
+        )
+        if drifts:
+            for drift in drifts:
+                print(f"EXPONENT DRIFT: {drift}", file=sys.stderr)
+            if args.strict:
+                code = 2
+            else:
+                print(
+                    "exponent drift is advisory (use --strict to enforce)",
+                    file=sys.stderr,
+                )
+        else:
+            print("no exponent drift vs baseline", file=sys.stderr)
+    _finish_obs(args, tracer)
+    return code
+
+
 def _load_bench_doc(path: str) -> dict:
     from repro.obs.bench import validate_bench
 
@@ -626,6 +774,56 @@ def build_parser() -> argparse.ArgumentParser:
                    help="self-contained HTML report output path")
     _add_common(p)
     p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser(
+        "profile",
+        help=(
+            "planner observatory: deterministic work counters, "
+            "flamegraph-ready stack capture, and scalability sweeps "
+            "with fitted complexity exponents"
+        ),
+        description=(
+            "Plans the chosen application once under a profiling engine "
+            "and (optionally) sweeps a probe-graph size ladder to fit "
+            "per-phase empirical complexity exponents.  Planning always "
+            "runs fresh: the artifact cache is not consulted."
+        ),
+    )
+    p.add_argument("--preset", choices=PROFILE_PRESETS, default="demo",
+                   help="application to profile (probe shapes honour "
+                        "--kernels/--seed)")
+    p.add_argument("--kernels", type=int, default=64, metavar="N",
+                   help="probe-graph node count (probe presets only)")
+    p.add_argument("--size", type=int, default=None,
+                   help="image side for probe graphs (default 32)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="probe-graph scale-factor jitter seed")
+    p.add_argument("--engine", choices=("stack", "cprofile", "none"),
+                   default="stack",
+                   help="frame-capture engine ('none' = counters only)")
+    p.add_argument("--sweep", action="store_true",
+                   help="also sweep a probe-size ladder and fit exponents")
+    p.add_argument("--sweep-sizes", metavar="A,B,C", default="8,16,32,64",
+                   help="comma-separated kernel counts of the sweep ladder")
+    p.add_argument("--repeats", type=int, default=3, metavar="N",
+                   help="timed repeats per ladder point")
+    p.add_argument("--warmup", type=int, default=1, metavar="K",
+                   help="untimed warmup runs per ladder point")
+    p.add_argument("--json", "-o", metavar="PATH", default="profile.json",
+                   help="planner-profile document output path "
+                        f"(schema_version {PROFILE_SCHEMA_VERSION})")
+    p.add_argument("--collapsed", metavar="PATH", default=None,
+                   help="collapsed-stack output (flamegraph.pl/speedscope)")
+    p.add_argument("--html", metavar="PATH", default=None,
+                   help="self-contained profile dashboard output path")
+    p.add_argument("--baseline", metavar="PATH", default=None,
+                   help="baseline profile JSON for exponent-drift check")
+    p.add_argument("--drift-tol", type=float, default=0.35, metavar="TOL",
+                   help="exponent drift tolerance vs the baseline")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 2 on exponent drift (default: advisory)")
+    _add_common(p)
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser(
         "bench",

@@ -31,6 +31,7 @@ from repro.core.serialize import (
     schedule_to_dict,
 )
 from repro.core.subkernel import SubKernel, check_partition
+from repro.core.work import WORK_COUNTER_FAMILIES, PlannerWork
 from repro.core.weights import (
     EdgeWeights,
     compute_edge_weights,
@@ -73,4 +74,6 @@ __all__ = [
     "select_candidates",
     "edge_id",
     "node_is_tileable",
+    "PlannerWork",
+    "WORK_COUNTER_FAMILIES",
 ]

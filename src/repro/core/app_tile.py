@@ -30,6 +30,7 @@ from repro.core.perftable import PerfTableSet
 from repro.core.schedule import Schedule
 from repro.core.subkernel import SubKernel
 from repro.core.weights import EdgeWeights, select_candidates
+from repro.core.work import PlannerWork
 from repro.errors import TilingError
 from repro.graph.block_graph import BlockDependencyGraph
 from repro.graph.kernel_graph import KernelGraph
@@ -39,7 +40,15 @@ from repro.parallel import in_worker, scoped_pool
 
 @dataclass
 class TilingStats:
-    """Telemetry of one Algorithm 1 run."""
+    """Telemetry of one Algorithm 1 run.
+
+    ``work`` holds the run's deterministic work counters (see
+    :mod:`repro.core.work`): edge-weighting work seeded from the
+    :class:`~repro.core.weights.EdgeWeights`, merge-validity probes
+    from the main loop, and per-cluster Algorithm 2 work charged when a
+    tiling is *consumed* — so the tally is bit-identical across sim
+    backends and worker counts, like the rest of the stats.
+    """
 
     candidate_edges: int = 0
     merge_attempts: int = 0
@@ -48,6 +57,7 @@ class TilingStats:
     rejected_merges: int = 0
     tilings_evaluated: int = 0
     tiling_cache_hits: int = 0
+    work: PlannerWork = field(default_factory=PlannerWork)
 
 
 @dataclass
@@ -112,6 +122,8 @@ def application_tile(
             raise TilingError(f"missing default time for node {node.node_id}")
 
     stats = TilingStats()
+    stats.work.weight_evals = weights.weight_evals
+    stats.work.edges_weighted = weights.edges_weighted
     partition = Partition.singletons(graph)
     tilings: Dict[int, ClusterTiling] = {
         node.node_id: _singleton_tiling(
@@ -148,7 +160,7 @@ def application_tile(
             and len(partition.members(cluster_a)) + len(partition.members(cluster_b))
             > max_cluster_nodes
         )
-        if oversized or not partition.can_merge(cluster_a, cluster_b):
+        if oversized or not partition.can_merge(cluster_a, cluster_b, stats.work):
             # Invalid partition: try the next edge, keep this one.
             stats.invalid_partitions += 1
             if trace_on:
@@ -183,13 +195,17 @@ def application_tile(
                     tracer=tracer,
                 )
             tiling_memo[merged_nodes] = tiling
+            _charge_work(stats, tiling, tracer, trace_on)
         elif merged_nodes in speculative:
             # First consumption of a speculatively pre-computed tiling:
             # for the stats this is the evaluation the serial loop
             # would have performed here, not a memo hit — keeping
-            # TilingStats bit-identical across worker counts.
+            # TilingStats (work counters included: the cluster's work
+            # travelled back inside the ClusterTiling) bit-identical
+            # across worker counts.
             speculative.discard(merged_nodes)
             stats.tilings_evaluated += 1
+            _charge_work(stats, tiling, tracer, trace_on)
         else:
             stats.tiling_cache_hits += 1
         combined = tilings[cluster_a].cost_us + tilings[cluster_b].cost_us
@@ -234,6 +250,15 @@ def application_tile(
         m.inc("sched.tilings_evaluated", stats.tilings_evaluated)
         m.inc("sched.tiling_cache_hits", stats.tiling_cache_hits)
         m.set_gauge("sched.clusters", len(partition))
+        for name, value in stats.work.as_dict().items():
+            m.inc(f"planner.{name}", value)
+        # Closing sample of the cumulative work track (see _charge_work).
+        tracer.sim_counter(
+            "planner.work",
+            float(stats.tilings_evaluated + 1),
+            stats.work.as_dict(),
+            cat="planner",
+        )
 
     # Assemble the schedule: cluster topological order, then each
     # cluster's tiling sequence.
@@ -251,6 +276,34 @@ def application_tile(
         estimated_cost_us=total_cost,
         stats=stats,
     )
+
+
+def _charge_work(
+    stats: TilingStats, tiling: Optional[ClusterTiling], tracer, trace_on: bool
+) -> None:
+    """Fold a consumed tiling's work into the run tally.
+
+    Called exactly once per *evaluation* (memo miss or first
+    consumption of a speculative result) — never on memo hits, which
+    mirror the serial loop re-using a tiling it already paid for.
+    Untileable clusters (``None``) charge nothing in both paths.
+
+    With tracing on, each charge also appends one sample to the
+    cumulative ``planner.work`` counter track.  The timestamp is the
+    evaluation ordinal — deterministic, unlike wall time — so Perfetto
+    shows planner work *per evaluation* alongside the ``l2_buffers.*``
+    tracks and two runs of the same plan produce identical tracks.
+    """
+    if tiling is None:
+        return
+    stats.work.add(tiling.work)
+    if trace_on:
+        tracer.sim_counter(
+            "planner.work",
+            float(stats.tilings_evaluated),
+            stats.work.as_dict(),
+            cat="planner",
+        )
 
 
 class _Missing:

@@ -85,21 +85,25 @@ class Partition:
     # ------------------------------------------------------------------
     # Merging
     # ------------------------------------------------------------------
-    def can_merge(self, cluster_a: int, cluster_b: int) -> bool:
+    def can_merge(self, cluster_a: int, cluster_b: int, work=None) -> bool:
         """Would merging keep the partition valid (quotient acyclic)?
 
         Requires an existing dependency direction a → b or independence.
         Merging creates a cycle exactly when a quotient path connects
         the two clusters through a third one, in either direction.
+
+        ``work`` (a :class:`~repro.core.work.PlannerWork`) counts the
+        quotient nodes the validity BFS dequeues as ``merge_probes`` —
+        the per-probe cost Algorithm 1 pays on every candidate edge.
         """
         if cluster_a == cluster_b:
             raise GraphError("cannot merge a cluster with itself")
         return not (
-            self._path_through_third(cluster_a, cluster_b)
-            or self._path_through_third(cluster_b, cluster_a)
+            self._path_through_third(cluster_a, cluster_b, work)
+            or self._path_through_third(cluster_b, cluster_a, work)
         )
 
-    def _path_through_third(self, src: int, dst: int) -> bool:
+    def _path_through_third(self, src: int, dst: int, work=None) -> bool:
         """Is there a path src → X → ... → dst with X not in {src, dst}?"""
         qadj = self._qadj
         seeds = qadj[src] - {dst}
@@ -107,15 +111,21 @@ class Partition:
             return False
         seen = set(seeds)
         frontier = list(seeds)
+        probes = 0
+        found = False
         while frontier:
             current = frontier.pop()
+            probes += 1
             if current == dst:
-                return True
+                found = True
+                break
             for nxt in qadj[current]:
                 if nxt not in seen:
                     seen.add(nxt)
                     frontier.append(nxt)
-        return False
+        if work is not None:
+            work.merge_probes += probes
+        return found
 
     def merge_preview(self, cluster_a: int, cluster_b: int) -> Dict[str, int]:
         """Structured description of a prospective merge.

@@ -25,12 +25,13 @@ cost = infinity (``None`` is returned).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analyzer.footprint import BlockMemoryLines, FootprintAccumulator
 from repro.core.perftable import PerfTableSet
 from repro.core.subkernel import SubKernel
+from repro.core.work import PlannerWork
 from repro.errors import TilingError
 from repro.gpusim.trace import BlockKey
 from repro.graph.block_graph import BlockDependencyGraph
@@ -40,12 +41,20 @@ from repro.obs.tracer import NULL_TRACER
 
 @dataclass(frozen=True)
 class ClusterTiling:
-    """The tiling sequence of one cluster and its estimated cost."""
+    """The tiling sequence of one cluster and its estimated cost.
+
+    ``work`` carries the deterministic work counters Algorithm 2 spent
+    producing this tiling.  It travels with the tiling itself (through
+    memo hits, speculative workers, and the artifact store) so the
+    merge loop can charge it at *consume* time — the property that
+    keeps run-level counters worker-invariant.
+    """
 
     nodes: FrozenSet[int]
     subkernels: Tuple[SubKernel, ...]
     cost_us: float
     rounds: int
+    work: PlannerWork = field(default_factory=PlannerWork)
 
     @property
     def num_launches(self) -> int:
@@ -109,6 +118,7 @@ def cluster_tile(
     current_per_node: Dict[int, List[int]] = {v: [] for v in nodes}
     cursors: Dict[int, int] = {v: 0 for v in nodes}
     acc = FootprintAccumulator(mem_lines, cache_bytes)
+    work = PlannerWork()
 
     subkernels: List[SubKernel] = []
     cost_us = 0.0
@@ -144,6 +154,7 @@ def cluster_tile(
                 ):
                     continue
                 staged.add(pred)
+                work.blocks_visited += 1
                 note_covered(pred)
                 found.append(pred)
                 stack.append(pred)
@@ -176,17 +187,20 @@ def cluster_tile(
                 1 for p in preds if p[0] in node_set and not covered(p, staged)
             )
             missing[key] = count
+            work.frontier_updates += 1
         return count
 
     def note_covered(key: BlockKey) -> None:
         for succ in successors_of(key):
             if succ in missing:
                 missing[succ] -= 1
+                work.frontier_updates += 1
 
     def note_uncovered(key: BlockKey) -> None:
         for succ in successors_of(key):
             if succ in missing:
                 missing[succ] += 1
+                work.frontier_updates += 1
 
     def find_ready(seeds: Sequence[BlockKey], staged: Set[BlockKey]) -> List[BlockKey]:
         """FindMoreBlks: blocks whose in-cluster deps are all covered."""
@@ -199,6 +213,7 @@ def cluster_tile(
                     continue
                 if missing_count(consumer, staged) == 0:
                     staged.add(consumer)
+                    work.blocks_visited += 1
                     note_covered(consumer)
                     found.append(consumer)
                     queue.append(consumer)
@@ -240,7 +255,9 @@ def cluster_tile(
             )
             subkernels.append(sub)
             cost_us += (
-                perf_tables.time(graph.node(v).kernel, combos[v], sub.num_blocks)
+                perf_tables.time(
+                    graph.node(v).kernel, combos[v], sub.num_blocks, work=work
+                )
                 + launch_overhead_us
             )
             blocks.clear()
@@ -259,6 +276,7 @@ def cluster_tile(
             if bid is not None:
                 key = (v, bid)
                 staged.add(key)
+                work.blocks_visited += 1
                 note_covered(key)
                 batch.append(key)
         if not batch:
@@ -269,6 +287,7 @@ def cluster_tile(
                 if bid is not None:
                     key = (v, bid)
                     staged.add(key)
+                    work.blocks_visited += 1
                     note_covered(key)
                     batch.append(key)
                     break
@@ -280,7 +299,10 @@ def cluster_tile(
         # --- top-down round ------------------------------------------
         batch.extend(find_ready(batch, staged))
         # --- cache constraint (line 13) ------------------------------
+        work.footprint_unions += 1
+        lines_before = acc.footprint_lines
         if acc.try_add(batch):
+            work.footprint_lines += acc.footprint_lines - lines_before
             current.update(batch)
             for v, bid in batch:
                 current_per_node[v].append(bid)
@@ -304,4 +326,5 @@ def cluster_tile(
         subkernels=tuple(subkernels),
         cost_us=cost_us,
         rounds=rounds,
+        work=work,
     )

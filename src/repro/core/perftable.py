@@ -119,8 +119,14 @@ class PerfTableSet:
             )
         return per_kernel[best]
 
-    def time(self, kernel, combo: InputCombo, grid_size: int) -> float:
-        """Estimated execution time of a sub-kernel (us)."""
+    def time(self, kernel, combo: InputCombo, grid_size: int, work=None) -> float:
+        """Estimated execution time of a sub-kernel (us).
+
+        ``work`` (a :class:`~repro.core.work.PlannerWork`) counts the
+        query as a ``perftable_queries`` unit when provided.
+        """
+        if work is not None:
+            work.perftable_queries += 1
         return self.lookup(kernel, combo).query(grid_size)
 
     def __len__(self) -> int:

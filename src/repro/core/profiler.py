@@ -421,5 +421,12 @@ class LazyPerfTables:
             self._tables[key] = table
         return table
 
-    def time(self, kernel: KernelSpec, combo: InputCombo, grid_size: int) -> float:
+    def time(
+        self, kernel: KernelSpec, combo: InputCombo, grid_size: int, work=None
+    ) -> float:
+        # Only the *query* is charged to the work tally; lazy table
+        # builds are memoized per process, so counting them would break
+        # worker invariance (each speculative worker holds its own memo).
+        if work is not None:
+            work.perftable_queries += 1
         return self.lookup(kernel, combo).query(grid_size)

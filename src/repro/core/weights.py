@@ -29,10 +29,19 @@ def edge_id(edge: Edge) -> EdgeId:
 
 @dataclass
 class EdgeWeights:
-    """Weights over the data edges of one application graph."""
+    """Weights over the data edges of one application graph.
+
+    ``weight_evals`` / ``edges_weighted`` record the deterministic work
+    spent building the weights — profiler evaluations behind the memo
+    (one per distinct (consumer kernel spec, buffer) pair) and data
+    edges assigned a weight.  Algorithm 1 folds them into the run's
+    :class:`~repro.core.work.PlannerWork` tally.
+    """
 
     graph: KernelGraph
     weights: Dict[EdgeId, float]
+    weight_evals: int = 0
+    edges_weighted: int = 0
 
     def weight(self, edge: Edge) -> float:
         return self.weights.get(edge_id(edge), 0.0)
@@ -70,18 +79,28 @@ def compute_edge_weights(
     """
     memo: Dict[Tuple[object, str], float] = {}
     weights: Dict[EdgeId, float] = {}
+    weight_evals = 0
+    edges_weighted = 0
     for edge in graph.data_edges():
         consumer = graph.node(edge.dst)
         if not node_is_tileable(consumer):
             weights[edge_id(edge)] = 0.0
+            edges_weighted += 1
             continue
         key = (consumer.kernel, edge.buffer.name)
         saved = memo.get(key)
         if saved is None:
             saved = profiler.saved_time(consumer.kernel, edge.buffer.name, freq)
             memo[key] = saved
+            weight_evals += 1
         weights[edge_id(edge)] = saved
-    return EdgeWeights(graph=graph, weights=weights)
+        edges_weighted += 1
+    return EdgeWeights(
+        graph=graph,
+        weights=weights,
+        weight_evals=weight_evals,
+        edges_weighted=edges_weighted,
+    )
 
 
 def select_candidates(

@@ -18,7 +18,12 @@ The subsystem has four pieces:
   phase-attributed timings with median/MAD/bootstrap-CI statistics,
   environment fingerprints, an append-only history trajectory, a
   noise-aware regression detector, and a self-contained HTML
-  dashboard.
+  dashboard;
+* :mod:`repro.obs.profile` — the planner observatory behind
+  ``ktiler profile``: span-scoped flamegraph capture
+  (:class:`StackProfiler`), schema-versioned profile documents with
+  deterministic work counters, and scalability sweeps that fit
+  empirical complexity exponents over probe-graph size ladders.
 
 Quick start::
 
@@ -63,7 +68,29 @@ from repro.obs.bench import (
     run_suite,
     validate_bench,
 )
-from repro.obs.bench_html import render_bench_html, write_bench
+from repro.obs.bench_html import (
+    render_bench_html,
+    render_profile_html,
+    write_bench,
+    write_profile_html,
+)
+from repro.obs.profile import (
+    DEFAULT_SWEEP_SIZES,
+    PROFILE_ENGINES,
+    PROFILE_SCHEMA_VERSION,
+    StackProfiler,
+    build_profile_doc,
+    collapsed_stacks,
+    compare_exponents,
+    fit_exponent,
+    load_profile,
+    profile_planner,
+    run_sweep,
+    scope_profiler_to_spans,
+    validate_profile,
+    write_collapsed,
+    write_profile,
+)
 from repro.obs.audit import (
     AUDIT_SCHEMA_VERSION,
     MISS_CLASSES,
@@ -121,4 +148,21 @@ __all__ = [
     "validate_bench",
     "render_bench_html",
     "write_bench",
+    "render_profile_html",
+    "write_profile_html",
+    "PROFILE_SCHEMA_VERSION",
+    "PROFILE_ENGINES",
+    "DEFAULT_SWEEP_SIZES",
+    "StackProfiler",
+    "scope_profiler_to_spans",
+    "collapsed_stacks",
+    "write_collapsed",
+    "profile_planner",
+    "fit_exponent",
+    "run_sweep",
+    "build_profile_doc",
+    "validate_profile",
+    "compare_exponents",
+    "write_profile",
+    "load_profile",
 ]

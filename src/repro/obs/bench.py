@@ -339,9 +339,13 @@ class BenchResult:
     cpu: SampleStats
     #: phase -> {"median": s, "mad": s} across the timed repeats.
     phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: planner work counters (see :mod:`repro.core.work`) of one repeat
+    #: — deterministic, so one repeat speaks for all.  Empty when the
+    #: benchmark does not run the planner.
+    work: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
-        return {
+        doc = {
             "name": self.name,
             "repeats": self.repeats,
             "warmup": self.warmup,
@@ -355,6 +359,9 @@ class BenchResult:
                 for phase, stats in sorted(self.phases.items())
             },
         }
+        if self.work:
+            doc["work"] = dict(sorted(self.work.items()))
+        return doc
 
 
 def run_benchmark(
@@ -395,6 +402,17 @@ def run_benchmark(
         series = [b.get(phase, 0.0) for b in breakdowns]
         if any(s > 0.0 for s in series):
             phases[phase] = {"median": median(series), "mad": mad(series)}
+    # Planner work counters are deterministic (same every repeat by the
+    # work-counter contract), so the last repeat's tracer speaks for all.
+    # Imported here: repro.core's package init reaches back into
+    # repro.obs through the simulator, so a module-level import cycles.
+    from repro.core.work import WORK_COUNTER_FAMILIES
+
+    work = {
+        name_.split(".", 1)[1]: int(tracer.metrics.total(name_))
+        for name_ in WORK_COUNTER_FAMILIES
+        if name_ in tracer.metrics
+    }
     return BenchResult(
         name=name,
         repeats=repeats,
@@ -402,6 +420,7 @@ def run_benchmark(
         wall=SampleStats.from_samples(wall),
         cpu=SampleStats.from_samples(cpu),
         phases=phases,
+        work=work,
     )
 
 
@@ -652,6 +671,14 @@ def validate_bench(doc: dict) -> dict:
                 and "median" in stats and "mad" in stats,
                 f"{where}.phases[{phase}] missing median/mad",
             )
+        work = bench.get("work")
+        if work is not None:
+            _require(isinstance(work, dict), f"{where}.work is not an object")
+            for counter, value in work.items():
+                _require(
+                    isinstance(value, int) and value >= 0,
+                    f"{where}.work[{counter}] is not a non-negative int",
+                )
     names = [b["name"] for b in benchmarks]
     _require(len(names) == len(set(names)), "duplicate benchmark names")
     return doc

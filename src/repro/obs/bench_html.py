@@ -212,6 +212,17 @@ def render_bench_html(
             "fingerprint</span>"
         )
         parts.append(_phase_bar(bench["phases"]))
+        work = bench.get("work")
+        if work:
+            parts.append(
+                "<p class='summary'>planner work: "
+                + " &middot; ".join(
+                    f"{esc(counter)} {value:,}"
+                    for counter, value in sorted(work.items())
+                    if value
+                )
+                + "</p>"
+            )
         parts.append("</div>")
     if compare is not None and compare.deltas:
         parts.append("<h2>Baseline comparison</h2><table>")
@@ -240,6 +251,219 @@ def render_bench_html(
         parts.append("</table>")
     parts.append("</body></html>")
     return "".join(parts)
+
+
+def _loglog_plot(
+    sizes: Sequence[float],
+    medians: Sequence[float],
+    exponent: float,
+    width: int = 220,
+    height: int = 120,
+) -> str:
+    """Inline SVG log-log scatter of a sweep series with its fitted line."""
+    import math
+
+    if len(sizes) < 2 or any(m <= 0.0 for m in medians):
+        return ""
+    xs = [math.log(s) for s in sizes]
+    ys = [math.log(m) for m in medians]
+    lo_x, hi_x = min(xs), max(xs)
+    lo_y, hi_y = min(ys), max(ys)
+    span_x = (hi_x - lo_x) or 1.0
+    span_y = (hi_y - lo_y) or 1.0
+    pad = 8.0
+
+    def px(x: float) -> float:
+        return pad + (x - lo_x) / span_x * (width - 2 * pad)
+
+    def py(y: float) -> float:
+        return height - pad - (y - lo_y) / span_y * (height - 2 * pad)
+
+    # fitted line through the first point with the fitted slope
+    y0 = ys[0] + exponent * (lo_x - xs[0])
+    y1 = ys[0] + exponent * (hi_x - xs[0])
+    dots = "".join(
+        f"<circle cx='{px(x):.1f}' cy='{py(y):.1f}' r='3' fill='#d9564a'/>"
+        for x, y in zip(xs, ys)
+    )
+    return (
+        f"<svg class='spark' width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}'>"
+        f"<line x1='{px(lo_x):.1f}' y1='{py(y0):.1f}' "
+        f"x2='{px(hi_x):.1f}' y2='{py(y1):.1f}' "
+        "stroke='#4a90d9' stroke-width='1.5'/>"
+        f"{dots}</svg>"
+    )
+
+
+def _exponent_rows(label_prefix: str, fits: dict, esc) -> List[str]:
+    rows = []
+    for name, fit in sorted(fits.items()):
+        lo, hi = fit["ci95"]
+        rows.append(
+            f"<tr><td class='name'>{esc(label_prefix + name)}</td>"
+            f"<td><b>n<sup>{fit['exponent']:.2f}</sup></b></td>"
+            f"<td>[{lo:.2f}, {hi:.2f}]</td>"
+            f"<td>{fit['r2']:.3f}</td></tr>"
+        )
+    return rows
+
+
+def render_profile_html(doc: dict) -> str:
+    """Self-contained dashboard for one (validated) planner-profile doc.
+
+    Three sections, each present only when its data is: the capture
+    summary (wall, phase bar, work-counter table), the profile top
+    frames, and the scaling sweep (per-point table, fitted-exponent
+    table with bootstrap CI95, log-log plots of wall time and the
+    steepest work counter).
+    """
+    from repro.obs.profile import validate_profile
+
+    validate_profile(doc)
+    esc = html.escape
+    env = doc["environment"]
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>ktiler planner profile</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        "<h1>ktiler planner profile</h1>",
+        "<p class='summary'>"
+        f"app <b>{esc(doc['app'])}</b> &middot; "
+        f"commit <code>{esc(str(env['git_sha'])[:12])}</code> &middot; "
+        f"python {esc(env['python'])} &middot; "
+        f"{esc(env['sim_backend'])} backend &middot; "
+        f"{env['workers']} worker(s) &middot; "
+        f"noise key <code>{esc(env['noise_key'][:12])}</code>"
+        "</p>",
+    ]
+    if "work" in doc:
+        parts.append("<div class='card'><h2>Planner work</h2>")
+        if "wall_s" in doc:
+            parts.append(
+                f"<p class='summary'>one plan: "
+                f"<b>{doc['wall_s'] * 1e3:.2f} ms</b> wall</p>"
+            )
+        if doc.get("phases"):
+            parts.append(
+                _phase_bar(
+                    {p: {"median": s} for p, s in doc["phases"].items()}
+                )
+            )
+        parts.append(
+            "<table><tr><th class='name'>counter</th><th>count</th></tr>"
+        )
+        for counter, value in sorted(doc["work"].items()):
+            parts.append(
+                f"<tr><td class='name'>planner.{esc(counter)}</td>"
+                f"<td>{value:,}</td></tr>"
+            )
+        parts.append("</table></div>")
+    profile = doc.get("profile")
+    if profile is not None and profile.get("frames"):
+        total_us = profile["total_us"] or 1.0
+        parts.append(
+            "<div class='card'><h2>Hottest stacks "
+            f"({esc(profile['engine'])} engine)</h2>"
+            f"<p class='summary'>{profile['total_us'] / 1e3:.2f} ms "
+            "attributed self time"
+            + (" &middot; frame list truncated" if profile["truncated"] else "")
+            + "</p><table><tr><th class='name'>frame</th>"
+            "<th>self</th><th>share</th><th>calls</th></tr>"
+        )
+        for frame in profile["frames"][:20]:
+            leaf = frame["stack"][-1]
+            parts.append(
+                f"<tr><td class='name' title='{esc(';'.join(frame['stack']))}'>"
+                f"{esc(leaf)}</td>"
+                f"<td>{frame['self_us'] / 1e3:.2f} ms</td>"
+                f"<td>{frame['self_us'] / total_us * 100:.1f}%</td>"
+                f"<td>{frame['calls']:,}</td></tr>"
+            )
+        parts.append("</table></div>")
+    sweep = doc.get("sweep")
+    if sweep is not None:
+        exponents = sweep["exponents"]
+        parts.append(
+            "<div class='card'><h2>Scalability sweep</h2>"
+            "<p class='summary'>"
+            f"shape <b>{esc(sweep['shape'])}</b> &middot; "
+            f"sizes {esc(', '.join(str(s) for s in sweep['sizes']))} kernels "
+            f"&middot; {sweep['repeats']} repeats + "
+            f"{sweep.get('warmup', 0)} warmup &middot; "
+            f"seed {sweep.get('seed', 0)}</p>"
+        )
+        wall_fit = exponents["wall_s"]
+        parts.append(
+            f"<p>wall time scales as <b>n<sup>{wall_fit['exponent']:.2f}"
+            "</sup></b> on this ladder "
+            f"(CI95 [{wall_fit['ci95'][0]:.2f}, {wall_fit['ci95'][1]:.2f}], "
+            f"r&sup2; {wall_fit['r2']:.3f})</p>"
+        )
+        parts.append(
+            _loglog_plot(
+                sweep["sizes"], wall_fit["medians"], wall_fit["exponent"]
+            )
+        )
+        work_fits = exponents.get("work") or {}
+        if work_fits:
+            steepest = max(
+                work_fits.items(), key=lambda kv: kv[1]["exponent"]
+            )
+            parts.append(
+                "<p class='summary'>steepest work counter: "
+                f"<b>planner.{esc(steepest[0])}</b> at "
+                f"n<sup>{steepest[1]['exponent']:.2f}</sup> (exact — "
+                "work counters are deterministic)</p>"
+            )
+            parts.append(
+                _loglog_plot(
+                    sweep["sizes"],
+                    steepest[1]["medians"],
+                    steepest[1]["exponent"],
+                )
+            )
+        parts.append(
+            "<h2>Fitted exponents</h2>"
+            "<table><tr><th class='name'>series</th><th>exponent</th>"
+            "<th>CI95</th><th>r&sup2;</th></tr>"
+        )
+        parts.extend(_exponent_rows("", {"wall_s": wall_fit}, esc))
+        parts.extend(
+            _exponent_rows("phase.", exponents.get("phases") or {}, esc)
+        )
+        parts.extend(_exponent_rows("planner.", work_fits, esc))
+        parts.append("</table>")
+        parts.append(
+            "<h2>Ladder points</h2>"
+            "<table><tr><th>kernels</th><th>wall median</th><th>MAD</th>"
+            "<th>work total</th><th class='name'>top counter</th></tr>"
+        )
+        for point in sweep["points"]:
+            work = point["work"]
+            top = max(work.items(), key=lambda kv: kv[1]) if work else None
+            parts.append(
+                f"<tr><td>{point['kernels']:,}</td>"
+                f"<td>{point['wall_s']['median'] * 1e3:.2f} ms</td>"
+                f"<td>{point['wall_s']['mad'] * 1e3:.2f} ms</td>"
+                f"<td>{sum(work.values()):,}</td>"
+                "<td class='name'>"
+                + (
+                    f"planner.{esc(top[0])} ({top[1]:,})"
+                    if top and top[1] else "—"
+                )
+                + "</td></tr>"
+            )
+        parts.append("</table></div>")
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_profile_html(doc: dict, html_path: str) -> str:
+    """Render and write the profile dashboard; returns the path."""
+    with open(html_path, "w", encoding="utf-8") as fh:
+        fh.write(render_profile_html(doc))
+    return html_path
 
 
 def write_bench(

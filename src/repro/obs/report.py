@@ -56,6 +56,14 @@ METRIC_HELP: Dict[str, str] = {
     "sched.merges_rejected": "cluster merges rejected on cost",
     "sched.tiling_cache_hits": "cluster tilings served from the memo",
     "sched.tilings_evaluated": "cluster tilings computed",
+    "planner.blocks_visited": "blocks staged by the tiling rounds",
+    "planner.footprint_unions": "tile-batch footprint union attempts",
+    "planner.footprint_lines": "cache lines admitted into tile footprints",
+    "planner.frontier_updates": "readiness-frontier bookkeeping updates",
+    "planner.perftable_queries": "performance-table time lookups",
+    "planner.merge_probes": "quotient-graph nodes dequeued by validity BFS",
+    "planner.weight_evals": "edge-weight saved-time evaluations (memo misses)",
+    "planner.edges_weighted": "edges assigned a weight by Algorithm 1",
     "sim.launch.blocks": "blocks issued per simulated launch",
     "sim.launch.count": "simulated kernel launches",
     "sim.launch.time_us": "simulated microseconds per launch",

@@ -37,6 +37,7 @@ from repro.core.serialize import (
 )
 from repro.core.schedule import Schedule
 from repro.core.subkernel import SubKernel
+from repro.core.work import PlannerWork
 from repro.gpusim.arch import GpuSpec
 from repro.gpusim.dram import DramModel
 from repro.gpusim.executor import LaunchResult, LaunchTally, time_launch
@@ -270,6 +271,7 @@ def tiling_result_to_dict(result: TilingResult, graph: KernelGraph) -> Dict:
                     ],
                     "cost_us": tiling.cost_us,
                     "rounds": tiling.rounds,
+                    "work": tiling.work.as_dict(),
                 },
             ]
             for cid, tiling in sorted(result.tilings.items())
@@ -314,10 +316,13 @@ def tiling_result_from_dict(
                 ),
                 cost_us=float(entry["cost_us"]),
                 rounds=int(entry["rounds"]),
+                work=PlannerWork.from_dict(entry.get("work", {})),
             )
             for cid, entry in payload["tilings"]
         }
-        stats = TilingStats(**payload["stats"])
+        stats_payload = dict(payload["stats"])
+        stats_work = PlannerWork.from_dict(stats_payload.pop("work", {}))
+        stats = TilingStats(work=stats_work, **stats_payload)
         return TilingResult(
             schedule=schedule,
             partition=partition,

@@ -30,7 +30,10 @@ from repro.kernels.base import KernelSpec
 
 #: Version of the store's key/payload semantics.  Bump on any change to
 #: the simulator, scheduler, or profiler that alters computed artifacts.
-STORE_VERSION = 1
+#: v2: plan artifacts carry planner work counters — v1 entries would
+#: deserialize with all-zero work, silently breaking the warm-vs-cold
+#: cache invariance of the counters.
+STORE_VERSION = 2
 
 #: Attributes of :class:`KernelSpec` handled explicitly (or useless for
 #: identity) and therefore excluded from the generic parameter sweep.

@@ -294,6 +294,24 @@ class TestRunBenchmark:
         assert set(d) == {
             "name", "repeats", "warmup", "wall_s", "cpu_s", "phases",
         }
+        # a fn that plans nothing leaves no planner.* families behind
+        assert result.work == {}
+
+    def test_work_counters_captured_from_a_planning_fn(self):
+        from repro.apps.synthetic import build_probe_graph
+        from repro.core import KTiler, KTilerConfig
+        from repro.gpusim import GpuSpec
+
+        app = build_probe_graph("chain", kernels=6)
+        spec = GpuSpec(l2_bytes=64 * 1024, launch_gap_us=1.0)
+        config = KTilerConfig(launch_overhead_us=2.0)
+
+        def fn(tracer):
+            KTiler(app.graph, spec, config, tracer=tracer).plan()
+
+        result = run_benchmark("plan", fn, repeats=2, warmup=0)
+        assert result.work["merge_probes"] > 0
+        assert result.as_dict()["work"] == result.work
 
 
 class TestRunSuite:
@@ -375,6 +393,14 @@ class TestValidateBench:
             (
                 lambda d: d.update(benchmarks=d["benchmarks"] * 2),
                 "duplicate",
+            ),
+            (
+                lambda d: d["benchmarks"][0].update(work="lots"),
+                "work",
+            ),
+            (
+                lambda d: d["benchmarks"][0].update(work={"merge_probes": -1}),
+                "work",
             ),
         ],
     )
@@ -578,6 +604,16 @@ class TestDashboard:
         assert "REGRESSED" in html_text
         assert "profile" in html_text
         assert "callout" in html_text
+
+    def test_work_digest_rendered_when_present(self):
+        doc = _doc({"a": ([0.1, 0.11, 0.12], {})})
+        doc["benchmarks"][0]["work"] = {"merge_probes": 55, "weight_evals": 7}
+        html_text = render_bench_html(doc)
+        assert "planner work:" in html_text
+        assert "merge_probes 55" in html_text
+        assert "planner work:" not in render_bench_html(
+            _doc({"a": ([0.1, 0.11, 0.12], {})})
+        )
 
     def test_write_bench_emits_everything(self, tmp_path):
         doc = _doc({"a": ([0.1, 0.11, 0.12], {})})

@@ -27,7 +27,9 @@ from repro.gpusim import GpuSpec
 class FlatTables:
     """A trivial cost model: 1 us per block (keeps properties fast)."""
 
-    def time(self, kernel, combo, grid_size):
+    def time(self, kernel, combo, grid_size, work=None):
+        if work is not None:
+            work.perftable_queries += 1
         return float(grid_size)
 
 

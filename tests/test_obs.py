@@ -415,6 +415,8 @@ def _golden_prom_registry() -> CounterRegistry:
     reg.set_gauge("run.l2_hit_rate", 0.875, schedule="tiled")
     reg.set_gauge("l2_buffers.default", 12.0, buffer="img0")
     reg.set_gauge("custom.family", 1.5)
+    reg.inc("planner.footprint_unions", 44)
+    reg.inc("planner.merge_probes", 55)
     return reg
 
 
