@@ -30,10 +30,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional
 
+from repro.core.fast_cluster import PLANNER_BACKEND_ENV_VAR, PLANNER_BACKENDS
 from repro.experiments import (
     cache_sweep,
     gap_sweep,
@@ -73,6 +75,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
             "L2 replay engine: 'reference' (list-based oracle) or 'fast' "
             f"(vectorized, bit-identical); default from ${BACKEND_ENV_VAR} "
             "or the experiment's own default"
+        ),
+    )
+    parser.add_argument(
+        "--planner-backend",
+        choices=PLANNER_BACKENDS,
+        default=None,
+        help=(
+            "merge planner: 'reference' (per-candidate BFS) or 'fast' "
+            "(incremental bitset reachability, bit-identical schedules); "
+            f"default from ${PLANNER_BACKEND_ENV_VAR} or the "
+            "experiment's own default"
         ),
     )
     parser.add_argument(
@@ -204,6 +217,10 @@ def _backend(args: argparse.Namespace) -> Optional[str]:
     return getattr(args, "sim_backend", None)
 
 
+def _planner_backend(args: argparse.Namespace) -> Optional[str]:
+    return getattr(args, "planner_backend", None)
+
+
 def _workers(args: argparse.Namespace) -> Optional[int]:
     return getattr(args, "workers", None)
 
@@ -266,6 +283,7 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
         backend=_backend(args),
         workers=_workers(args),
         store=_store(args, tracer),
+        planner_backend=_planner_backend(args),
     )
     print(result.format_table())
     _finish_obs(args, tracer)
@@ -295,6 +313,7 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         workers=_workers(args),
         store=_store(args, tracer),
         tracer=tracer,
+        planner_backend=_planner_backend(args),
     )
     print(result.format_table())
     _finish_obs(args, tracer)
@@ -313,6 +332,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         app.graph,
         config=KTilerConfig(launch_overhead_us=2.0),
         backend=_backend(args),
+        planner_backend=_planner_backend(args),
     )
     plan = ktiler.plan(NOMINAL)
     print(plan.schedule.summary())
@@ -373,6 +393,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         backend=_backend(args),
         workers=_workers(args),
         store=_store(args, tracer),
+        planner_backend=_planner_backend(args),
     )
     report = compare_default_vs_ktiler(ktiler, [NOMINAL])
     print(report.format_table())
@@ -430,6 +451,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         backend=_backend(args),
         workers=_workers(args),
         store=_store(args, tracer),
+        planner_backend=_planner_backend(args),
     )
     audit = audit_schedule(ktiler, freq=NOMINAL, tracer=tracer)
     print(audit.format_table())
@@ -490,6 +512,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         backend=_backend(args),
         workers=_workers(args),
         tracer=tracer,
+        planner_backend=_planner_backend(args),
     )
     work = capture["work"]
     print(
@@ -517,6 +540,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             seed=args.seed,
             image_size=args.size or 32,
             log=lambda line: print(line, file=sys.stderr),
+            planner_backend=_planner_backend(args),
         )
         wall_fit = sweep["exponents"]["wall_s"]
         print(
@@ -532,6 +556,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         sweep=sweep,
         backend=_backend(args),
         workers=_workers(args),
+        planner_backend=_planner_backend(args),
     )
     written = []
     if args.json:
@@ -613,6 +638,11 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     from repro.obs.bench_html import write_bench
 
     names = args.benchmarks.split(",") if args.benchmarks else None
+    # The suite's KTilers resolve the planner backend from the
+    # environment, so export the flag there: the fingerprint and the
+    # benchmarked pipeline then agree by construction.
+    if _planner_backend(args):
+        os.environ[PLANNER_BACKEND_ENV_VAR] = _planner_backend(args)
     doc = run_suite(
         names=names,
         scale=args.scale,
@@ -621,6 +651,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         backend=_backend(args),
         workers=_workers(args),
         log=lambda line: print(line, file=sys.stderr),
+        planner_backend=_planner_backend(args),
     )
     report = None
     if args.compare:
@@ -744,6 +775,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=1024, help="image side")
     p.add_argument("--sim-backend", choices=BACKENDS, default=None,
                    help="L2 replay engine (reference|fast)")
+    p.add_argument("--planner-backend", choices=PLANNER_BACKENDS,
+                   default=None,
+                   help="merge planner (reference|fast)")
     p.set_defaults(func=_cmd_demo)
 
     p = sub.add_parser(
@@ -857,6 +891,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write this run as the new baseline")
     b.add_argument("--sim-backend", choices=BACKENDS, default=None,
                    help="L2 replay engine (recorded in the fingerprint)")
+    b.add_argument("--planner-backend", choices=PLANNER_BACKENDS,
+                   default=None,
+                   help="merge planner (exported to the environment and "
+                        "recorded in the fingerprint)")
     b.add_argument("--workers", type=int, default=None, metavar="N",
                    help="worker count (recorded in the fingerprint)")
     _add_bench_compare_knobs(b)

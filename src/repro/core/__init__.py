@@ -3,6 +3,13 @@
 from repro.core.app_tile import TilingResult, TilingStats, application_tile
 from repro.core.baselines import exhaustive_tile, merge_all_tile
 from repro.core.cluster import Partition
+from repro.core.fast_cluster import (
+    PLANNER_BACKEND_ENV_VAR,
+    PLANNER_BACKENDS,
+    FastPartition,
+    make_partition,
+    resolve_planner_backend,
+)
 from repro.core.cluster_tile import (
     ClusterTiling,
     cluster_sinks,
@@ -31,7 +38,11 @@ from repro.core.serialize import (
     schedule_to_dict,
 )
 from repro.core.subkernel import SubKernel, check_partition
-from repro.core.work import WORK_COUNTER_FAMILIES, PlannerWork
+from repro.core.work import (
+    VALIDITY_COUNTERS,
+    WORK_COUNTER_FAMILIES,
+    PlannerWork,
+)
 from repro.core.weights import (
     EdgeWeights,
     compute_edge_weights,
@@ -51,6 +62,11 @@ __all__ = [
     "SubKernel",
     "check_partition",
     "Partition",
+    "FastPartition",
+    "make_partition",
+    "resolve_planner_backend",
+    "PLANNER_BACKENDS",
+    "PLANNER_BACKEND_ENV_VAR",
     "ClusterTiling",
     "cluster_tile",
     "cluster_sinks",
@@ -76,4 +92,5 @@ __all__ = [
     "node_is_tileable",
     "PlannerWork",
     "WORK_COUNTER_FAMILIES",
+    "VALIDITY_COUNTERS",
 ]

@@ -26,6 +26,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.analyzer.footprint import BlockMemoryLines
 from repro.core.cluster import Partition
 from repro.core.cluster_tile import ClusterTiling, cluster_tile
+from repro.core.fast_cluster import make_partition
 from repro.core.perftable import PerfTableSet
 from repro.core.schedule import Schedule
 from repro.core.subkernel import SubKernel
@@ -102,6 +103,7 @@ def application_tile(
     max_cluster_nodes: Optional[int] = None,
     tracer=NULL_TRACER,
     workers: int = 1,
+    planner_backend: Optional[str] = None,
 ) -> TilingResult:
     """Algorithm 1.
 
@@ -110,6 +112,12 @@ def application_tile(
     ``max_cluster_nodes`` caps cluster growth — an extension beyond the
     paper that bounds scheduling time on very deep graphs (``None``
     reproduces the paper exactly).
+
+    ``planner_backend`` selects the partition engine (reference BFS
+    oracle or the bitset reachability index of
+    :mod:`repro.core.fast_cluster`); both make identical merge
+    decisions by contract, differing only in the validity-family work
+    counters.
 
     With tracing enabled, every merge decision is emitted as a
     ``sched.merge`` instant event carrying the candidate edge, its
@@ -124,7 +132,7 @@ def application_tile(
     stats = TilingStats()
     stats.work.weight_evals = weights.weight_evals
     stats.work.edges_weighted = weights.edges_weighted
-    partition = Partition.singletons(graph)
+    partition = make_partition(graph, planner_backend, work=stats.work)
     tilings: Dict[int, ClusterTiling] = {
         node.node_id: _singleton_tiling(
             graph, node.node_id, default_times_us[node.node_id], launch_overhead_us
@@ -229,7 +237,7 @@ def application_tile(
                 **partition.merge_preview(cluster_a, cluster_b),
             )
         if adopt:
-            partition = partition.merged(cluster_a, cluster_b)
+            partition = partition.merged(cluster_a, cluster_b, work=stats.work)
             new_id = min(cluster_a, cluster_b)
             dead_id = max(cluster_a, cluster_b)
             del tilings[dead_id]

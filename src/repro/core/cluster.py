@@ -15,6 +15,12 @@ thousand-kernel HSOpticalFlow graph, so this is on the hot path.
 Partitions are immutable-by-convention: :meth:`merged` returns a new
 partition, so Algorithm 1 can tentatively merge, evaluate the tiling
 cost, and discard cheaply.
+
+This module is the **reference planner backend** (the oracle).  The
+fast backend (:mod:`repro.core.fast_cluster`) answers the same
+questions with an incrementally repaired bitset reachability index and
+in-place quotient updates, bit-identical by contract; select with
+``--planner-backend`` / ``KTILER_PLANNER_BACKEND``.
 """
 
 from __future__ import annotations
@@ -32,6 +38,8 @@ class Partition:
     Cluster ids are the minimum node id of their members, which keeps
     ids stable and deterministic across merges.
     """
+
+    backend_name = "reference"
 
     def __init__(
         self,
@@ -144,12 +152,15 @@ class Partition:
             "out_degree_b": len(self._qadj[cluster_b]),
         }
 
-    def merged(self, cluster_a: int, cluster_b: int) -> "Partition":
+    def merged(self, cluster_a: int, cluster_b: int, work=None) -> "Partition":
         """A new partition with the two clusters merged.
 
         The caller is responsible for checking :meth:`can_merge`; the
-        quotient is updated mechanically either way.
+        quotient is updated mechanically either way.  ``work`` is
+        accepted for planner-backend call-site parity; the reference
+        copy keeps no reachability index, so nothing is charged.
         """
+        del work
         if cluster_a == cluster_b:
             raise GraphError("cannot merge a cluster with itself")
         new_id = min(cluster_a, cluster_b)
@@ -177,6 +188,14 @@ class Partition:
             qadj[cid].discard(dead_id)
             qadj[cid].add(new_id)
         return Partition(clusters, of, qadj, qradj)
+
+    def snapshot(self) -> "Partition":
+        """An independent view (planner-backend API parity).
+
+        The reference partition is immutable-by-convention — ``merged``
+        allocates a fresh object — so the snapshot is ``self``.
+        """
+        return self
 
     # ------------------------------------------------------------------
     # Ordering & validation

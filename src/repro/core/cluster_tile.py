@@ -61,6 +61,105 @@ class ClusterTiling:
         return len(self.subkernels)
 
 
+class ReadinessFrontier:
+    """Incremental per-block count of uncovered in-cluster predecessors.
+
+    The top-down round asks, per candidate block, "are all in-cluster
+    dependencies covered?".  Rescanning the predecessor list per
+    candidate per round is the O(preds) cost FindMoreBlks used to pay;
+    this frontier keeps the counts incrementally instead: initialized
+    lazily on first query, decremented as coverage grows (every batch
+    append), incremented when it shrinks (a batch dropped by the cache
+    constraint).
+
+    Work accounting: every lazy initialization and every cover/uncover
+    adjustment of a tracked count charges one ``frontier_updates``.
+    :meth:`recompute` / :meth:`validate` are the from-scratch oracle —
+    they charge nothing, so audits cannot perturb the counters
+    (``tests/test_cluster_tile_properties.py`` drives them through the
+    dropped-batch path).
+    """
+
+    def __init__(
+        self,
+        block_graph: BlockDependencyGraph,
+        node_set: Set[int],
+        include_anti: bool,
+        work: PlannerWork,
+    ):
+        self._block_graph = block_graph
+        self._node_set = node_set
+        self._include_anti = include_anti
+        self._work = work
+        self._missing: Dict[BlockKey, int] = {}
+
+    def _predecessors(self, key: BlockKey):
+        if self._include_anti:
+            return self._block_graph.all_predecessors(key)
+        return self._block_graph.producers(key)
+
+    def _successors(self, key: BlockKey):
+        if self._include_anti:
+            return self._block_graph.consumers(key) + self._block_graph.anti_consumers(
+                key
+            )
+        return self._block_graph.consumers(key)
+
+    def missing_count(self, key: BlockKey, covered) -> int:
+        """Uncovered in-cluster predecessors of ``key`` (lazy init).
+
+        ``covered`` is the caller's coverage predicate over block keys.
+        """
+        count = self._missing.get(key)
+        if count is None:
+            count = sum(
+                1
+                for p in self._predecessors(key)
+                if p[0] in self._node_set and not covered(p)
+            )
+            self._missing[key] = count
+            self._work.frontier_updates += 1
+        return count
+
+    def note_covered(self, key: BlockKey) -> None:
+        missing = self._missing
+        for succ in self._successors(key):
+            if succ in missing:
+                missing[succ] -= 1
+                self._work.frontier_updates += 1
+
+    def note_uncovered(self, key: BlockKey) -> None:
+        missing = self._missing
+        for succ in self._successors(key):
+            if succ in missing:
+                missing[succ] += 1
+                self._work.frontier_updates += 1
+
+    def recompute(self, covered) -> Dict[BlockKey, int]:
+        """From-scratch counts for every tracked block (the audit oracle)."""
+        return {
+            key: sum(
+                1
+                for p in self._predecessors(key)
+                if p[0] in self._node_set and not covered(p)
+            )
+            for key in self._missing
+        }
+
+    def validate(self, covered) -> None:
+        """Raise :class:`TilingError` if any incremental count drifted."""
+        expected = self.recompute(covered)
+        if expected != self._missing:
+            drift = {
+                key: (self._missing[key], expected[key])
+                for key in expected
+                if expected[key] != self._missing[key]
+            }
+            raise TilingError(
+                f"readiness frontier out of sync (incremental, expected): {drift}"
+            )
+
+
 def in_cluster_input_combo(
     graph: KernelGraph, node_id: int, cluster_nodes: Set[int]
 ) -> FrozenSet[str]:
@@ -95,14 +194,21 @@ def cluster_tile(
     launch_overhead_us: float = 0.0,
     include_anti: bool = True,
     tracer=NULL_TRACER,
+    audit_frontier: bool = False,
 ) -> Optional[ClusterTiling]:
     """Algorithm 2.  Returns None when the cluster cannot be tiled.
 
     With tracing enabled, every frozen tiling round emits a
     ``tile.round`` instant event recording how full the round grew
     before freezing (footprint bytes vs. the L2 budget) and how many
-    blocks/sub-kernels it gathered; totals accumulate under
-    ``tile.*`` in ``tracer.metrics``.
+    blocks/sub-kernels it gathered, and every batch the cache
+    constraint rejects emits a ``tile.drop`` instant; totals accumulate
+    under ``tile.*`` in ``tracer.metrics``.
+
+    ``audit_frontier`` cross-checks the incremental readiness frontier
+    against a from-scratch recomputation after every committed batch
+    and every dropped one (test/debug only — O(blocks × preds) per
+    check, charges no work).
     """
     node_set: Set[int] = set(cluster_nodes)
     if not node_set:
@@ -163,55 +269,21 @@ def cluster_tile(
     def covered(key: BlockKey, staged: Set[BlockKey]) -> bool:
         return key in assigned or key in current or key in staged
 
-    # Incremental readiness: per-block count of in-cluster predecessors
-    # not yet covered, initialized lazily on first query and kept in
-    # sync as coverage grows (every batch append) and shrinks (a batch
-    # dropped by the cache constraint).  Replaces the O(preds) rescan
-    # FindMoreBlks used to pay per candidate per round.
-    missing: Dict[BlockKey, int] = {}
-
-    def successors_of(key: BlockKey) -> Iterable[BlockKey]:
-        if include_anti:
-            return block_graph.consumers(key) + block_graph.anti_consumers(key)
-        return block_graph.consumers(key)
-
-    def missing_count(key: BlockKey, staged: Set[BlockKey]) -> int:
-        count = missing.get(key)
-        if count is None:
-            preds = (
-                block_graph.all_predecessors(key)
-                if include_anti
-                else block_graph.producers(key)
-            )
-            count = sum(
-                1 for p in preds if p[0] in node_set and not covered(p, staged)
-            )
-            missing[key] = count
-            work.frontier_updates += 1
-        return count
-
-    def note_covered(key: BlockKey) -> None:
-        for succ in successors_of(key):
-            if succ in missing:
-                missing[succ] -= 1
-                work.frontier_updates += 1
-
-    def note_uncovered(key: BlockKey) -> None:
-        for succ in successors_of(key):
-            if succ in missing:
-                missing[succ] += 1
-                work.frontier_updates += 1
+    frontier = ReadinessFrontier(block_graph, node_set, include_anti, work)
+    note_covered = frontier.note_covered
+    note_uncovered = frontier.note_uncovered
 
     def find_ready(seeds: Sequence[BlockKey], staged: Set[BlockKey]) -> List[BlockKey]:
         """FindMoreBlks: blocks whose in-cluster deps are all covered."""
         found: List[BlockKey] = []
         queue = list(seeds)
+        is_covered = lambda k: covered(k, staged)  # noqa: E731
         while queue:
             key = queue.pop()
             for consumer in block_graph.consumers(key):
                 if consumer[0] not in node_set or covered(consumer, staged):
                     continue
-                if missing_count(consumer, staged) == 0:
+                if frontier.missing_count(consumer, is_covered) == 0:
                     staged.add(consumer)
                     work.blocks_visited += 1
                     note_covered(consumer)
@@ -306,16 +378,40 @@ def cluster_tile(
             current.update(batch)
             for v, bid in batch:
                 current_per_node[v].append(bid)
+            if audit_frontier:
+                frontier.validate(lambda k: k in assigned or k in current)
         else:
+            if tracer.enabled:
+                tracer.instant(
+                    "tile.drop",
+                    cat="tiler",
+                    cluster=cluster_label,
+                    round=rounds,
+                    blocks=len(batch),
+                    footprint_bytes=acc.footprint_bytes,
+                    cache_bytes=cache_bytes,
+                )
+                tracer.metrics.inc("tile.drops", 1, cluster=cluster_label)
+                tracer.metrics.inc(
+                    "tile.dropped_blocks", len(batch), cluster=cluster_label
+                )
             if not flush_round():
                 # Not a single new sub-kernel could be formed: untileable.
                 return None
             # The failed batch is dropped; its blocks are still
-            # unassigned and will be re-gathered next iteration.
+            # unassigned and will be re-gathered next iteration.  Only
+            # the dropped blocks became uncovered, so only their nodes'
+            # cursors can point past a free block: rewind each to the
+            # lowest dropped block instead of rescanning every node
+            # from 0 (every block below that is still assigned or
+            # current, so the next pick is bit-identical).
             for key in batch:
                 note_uncovered(key)
-            for v in node_set:
-                cursors[v] = 0
+                v, bid = key
+                if bid < cursors[v]:
+                    cursors[v] = bid
+            if audit_frontier:
+                frontier.validate(lambda k: k in assigned or k in current)
 
     if len(assigned) != total_blocks:
         raise TilingError(

@@ -25,6 +25,7 @@ from repro.analyzer.dependency import build_block_graph
 from repro.analyzer.footprint import BlockMemoryLines
 from repro.analyzer.instrument import InstrumentedRun, run_instrumented
 from repro.core.app_tile import TilingResult, application_tile
+from repro.core.fast_cluster import resolve_planner_backend
 from repro.core.profiler import (
     DEFAULT_GRID_FRACTIONS,
     KernelProfiler,
@@ -89,6 +90,7 @@ class KTiler:
         backend: Optional[str] = None,
         workers: Optional[int] = None,
         store=None,
+        planner_backend: Optional[str] = None,
     ):
         graph.validate()
         self.graph = graph
@@ -96,6 +98,7 @@ class KTiler:
         self.config = config if config is not None else KTilerConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.backend = resolve_backend(backend)
+        self.planner_backend = resolve_planner_backend(planner_backend)
         self.workers = resolve_workers(workers)
         self.store = store if store is not None else NULL_STORE
         self.profiler = KernelProfiler(
@@ -221,7 +224,10 @@ class KTiler:
         key = None
         if self.store.enabled:
             key = self.store.key_for(
-                plan_key(self.graph, self.spec, self.config, freq)
+                plan_key(
+                    self.graph, self.spec, self.config, freq,
+                    planner_backend=self.planner_backend,
+                )
             )
             payload = self.store.get("plan", key)
             if payload is not None:
@@ -252,6 +258,7 @@ class KTiler:
                 max_cluster_nodes=self.config.max_cluster_nodes,
                 tracer=self.tracer,
                 workers=self.workers,
+                planner_backend=self.planner_backend,
             )
             result.schedule.validate(
                 self.graph, self.block_graph, include_anti=self.config.include_anti
@@ -283,7 +290,7 @@ class KTiler:
         if len(pending) > 1 and workers > 1:
             tasks = [
                 (self.graph, self.spec, self.config, freq, self.backend,
-                 self.store)
+                 self.planner_backend, self.store)
                 for freq in pending
             ]
             results = parallel_map(
@@ -351,11 +358,13 @@ def _plan_task(task) -> TilingResult:
     """Worker-side per-frequency plan (module-level for pickling).
 
     Builds a serial (workers=1) KTiler so workers never nest pools; the
-    backend string was resolved by the parent.  A pickled ArtifactStore
-    travels as its root path, so warm artifacts are shared.
+    backend strings were resolved by the parent.  A pickled
+    ArtifactStore travels as its root path, so warm artifacts are
+    shared.
     """
-    graph, spec, config, freq, backend, store = task
+    graph, spec, config, freq, backend, planner_backend, store = task
     tiler = KTiler(
-        graph, spec, config, backend=backend, workers=1, store=store
+        graph, spec, config, backend=backend, workers=1, store=store,
+        planner_backend=planner_backend,
     )
     return tiler.plan(freq)

@@ -30,8 +30,12 @@ What counts (the work-counter contract, see TESTING.md):
   adjustment;
 * ``perftable_queries`` — sub-kernel execution-time estimates asked of
   the performance tables;
-* ``merge_probes`` — quotient-graph nodes dequeued by the merge
-  validity BFS of Algorithm 1's main loop;
+* ``merge_probes`` — the merge-validity cost of Algorithm 1's main
+  loop: quotient-graph nodes dequeued by the reference backend's BFS,
+  or bitset words scanned by the fast backend's reachability check;
+* ``reach_repairs`` — bitset words written building and repairing the
+  fast planner backend's incremental reachability index (zero under
+  the reference backend, which keeps no index);
 * ``weight_evals`` — profiler evaluations behind the edge weights
   (memoized per (kernel spec, buffer));
 * ``edges_weighted`` — data edges assigned a weight.
@@ -40,6 +44,16 @@ Untileable clusters (Algorithm 2 returns ``None``) charge nothing:
 their partial work has no tiling to travel with, and dropping it
 identically in the serial and speculative paths is what keeps the
 counters invariant.
+
+The *validity family* (:data:`VALIDITY_COUNTERS`) is the one exception
+to cross-cutting invariance: ``merge_probes`` and ``reach_repairs``
+measure how hard the *selected planner backend* worked to prove merge
+validity, so they are deterministic per planner backend but differ
+*between* planner backends by design.  Every other counter is
+bit-identical across planner backends too (same decisions, same
+Algorithm 2 work).  This is why the planner backend participates in
+the plan-store fingerprint while the sim backend does not (see
+:mod:`repro.store.fingerprint`).
 """
 
 from __future__ import annotations
@@ -62,6 +76,7 @@ class PlannerWork:
     frontier_updates: int = 0
     perftable_queries: int = 0
     merge_probes: int = 0
+    reach_repairs: int = 0
     weight_evals: int = 0
     edges_weighted: int = 0
 
@@ -92,3 +107,10 @@ class PlannerWork:
 WORK_COUNTER_FAMILIES = tuple(
     f"planner.{f.name}" for f in fields(PlannerWork)
 )
+
+#: The merge-validity counters: deterministic for a given planner
+#: backend, but *planner-backend-local* — the reference backend charges
+#: BFS dequeues to ``merge_probes`` and never touches
+#: ``reach_repairs``; the fast backend charges bitset words to both.
+#: Everything outside this family is invariant across planner backends.
+VALIDITY_COUNTERS = ("merge_probes", "reach_repairs")

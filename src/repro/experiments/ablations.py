@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence
 from repro.apps.synthetic import build_jacobi_pingpong
 from repro.core.ktiler import KTiler, KTilerConfig
 from repro.gpusim import GpuSpec
+from repro.core.fast_cluster import resolve_planner_backend
 from repro.gpusim.fast_cache import resolve_backend
 from repro.gpusim.freq import FrequencyConfig, NOMINAL
 from repro.graph.kernel_graph import KernelGraph
@@ -73,9 +74,11 @@ def _measure(
     gap_us: float,
     backend: Optional[str] = None,
     store=None,
+    planner_backend: Optional[str] = None,
 ) -> AblationRow:
     ktiler = KTiler(
-        graph, spec=spec, config=config, backend=backend, store=store
+        graph, spec=spec, config=config, backend=backend, store=store,
+        planner_backend=planner_backend,
     )
     plan = ktiler.plan(freq)
     default_run = measure_at(
@@ -126,17 +129,19 @@ def threshold_sweep(
     workers: Optional[int] = None,
     store=None,
     tracer=None,
+    planner_backend: Optional[str] = None,
 ) -> AblationResult:
     from repro.obs.tracer import NULL_TRACER
 
     backend = resolve_backend(backend, default="fast")
+    planner_backend = resolve_planner_backend(planner_backend, default="fast")
     used_spec = spec if spec is not None else GpuSpec(l2_bytes=512 * 1024)
     graph = _default_app()
     tasks = [
         (
             graph, used_spec, freq,
             KTilerConfig(threshold_us=threshold, launch_overhead_us=gap_us),
-            gap_us, backend, store,
+            gap_us, backend, store, planner_backend,
         )
         for threshold in thresholds
     ]
@@ -158,16 +163,18 @@ def cache_sweep(
     workers: Optional[int] = None,
     store=None,
     tracer=None,
+    planner_backend: Optional[str] = None,
 ) -> AblationResult:
     from repro.obs.tracer import NULL_TRACER
 
     backend = resolve_backend(backend, default="fast")
+    planner_backend = resolve_planner_backend(planner_backend, default="fast")
     graph = _default_app()
     tasks = [
         (
             graph, GpuSpec(l2_bytes=l2_bytes), freq,
             KTilerConfig(launch_overhead_us=gap_us),
-            gap_us, backend, store,
+            gap_us, backend, store, planner_backend,
         )
         for l2_bytes in l2_sizes
     ]
@@ -187,17 +194,19 @@ def gap_sweep(
     workers: Optional[int] = None,
     store=None,
     tracer=None,
+    planner_backend: Optional[str] = None,
 ) -> AblationResult:
     from repro.obs.tracer import NULL_TRACER
 
     backend = resolve_backend(backend, default="fast")
+    planner_backend = resolve_planner_backend(planner_backend, default="fast")
     used_spec = spec if spec is not None else GpuSpec(l2_bytes=512 * 1024)
     graph = _default_app()
     tasks = [
         (
             graph, used_spec, freq,
             KTilerConfig(launch_overhead_us=gap),
-            gap, backend, store,
+            gap, backend, store, planner_backend,
         )
         for gap in gaps_us
     ]

@@ -28,6 +28,7 @@ from repro.experiments.presets import (
     SCALED_SPEC,
 )
 from repro.gpusim import GpuSpec
+from repro.core.fast_cluster import resolve_planner_backend
 from repro.gpusim.fast_cache import resolve_backend
 from repro.gpusim.freq import FIG5_CONFIGS, FrequencyConfig
 from repro.obs.tracer import NULL_TRACER
@@ -79,6 +80,7 @@ def run_fig5(
     backend: Optional[str] = None,
     workers: Optional[int] = None,
     store=None,
+    planner_backend: Optional[str] = None,
 ) -> Fig5Result:
     """Reproduce the Figure 5 experiment.
 
@@ -94,6 +96,7 @@ def run_fig5(
     """
     used_spec = spec if spec is not None else SCALED_SPEC
     backend = resolve_backend(backend, default="fast")
+    planner_backend = resolve_planner_backend(planner_backend, default="fast")
     app = build_hsopticalflow(
         frame_size=frame_size, levels=levels, jacobi_iters=jacobi_iters
     )
@@ -108,6 +111,7 @@ def run_fig5(
         backend=backend,
         workers=workers,
         store=store,
+        planner_backend=planner_backend,
     )
     report = compare_default_vs_ktiler(ktiler, configs)
     plan_stats = {freq: ktiler.plan(freq).stats for freq in configs}

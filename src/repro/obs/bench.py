@@ -267,7 +267,7 @@ def phase_breakdown(
 #: of these (:func:`fingerprint_noise_key`) gates baseline comparisons.
 NOISE_KEY_FIELDS = (
     "python", "implementation", "platform", "machine", "cpu_count",
-    "sim_backend", "workers", "numpy",
+    "sim_backend", "planner_backend", "workers", "numpy",
 )
 
 
@@ -289,14 +289,18 @@ def _git_sha() -> str:
 
 
 def environment_fingerprint(
-    backend: Optional[str] = None, workers: Optional[int] = None
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    planner_backend: Optional[str] = None,
 ) -> dict:
     """Everything a sample's value may depend on, plus the git sha.
 
-    ``backend``/``workers`` resolve through the same precedence the
-    pipeline itself uses (argument > environment > default), so the
-    fingerprint records what actually ran, not what was requested.
+    ``backend``/``workers``/``planner_backend`` resolve through the
+    same precedence the pipeline itself uses (argument > environment >
+    default), so the fingerprint records what actually ran, not what
+    was requested.
     """
+    from repro.core.fast_cluster import resolve_planner_backend
     from repro.gpusim.fast_cache import resolve_backend
     from repro.parallel import resolve_workers
 
@@ -308,6 +312,7 @@ def environment_fingerprint(
         "machine": platform.machine(),
         "cpu_count": os.cpu_count() or 1,
         "sim_backend": resolve_backend(backend),
+        "planner_backend": resolve_planner_backend(planner_backend),
         "workers": resolve_workers(workers),
         "numpy": np.__version__,
     }
@@ -543,6 +548,7 @@ def run_suite(
     backend: Optional[str] = None,
     workers: Optional[int] = None,
     log: Optional[Callable[[str], None]] = None,
+    planner_backend: Optional[str] = None,
 ) -> dict:
     """Run (a subset of) the registered suite; return the run document.
 
@@ -581,7 +587,7 @@ def run_suite(
         "schema_version": BENCH_SCHEMA_VERSION,
         "kind": "bench-run",
         "created_unix": round(time.time(), 3),
-        "environment": environment_fingerprint(backend, workers),
+        "environment": environment_fingerprint(backend, workers, planner_backend),
         "config": {"repeats": repeats, "warmup": warmup, "scale": scale},
         "benchmarks": [r.as_dict() for r in results],
     }

@@ -354,6 +354,7 @@ def profile_planner(
     workers: Optional[int] = None,
     tracer: Optional[Tracer] = None,
     spans: Sequence[str] = DEFAULT_PROFILE_SPANS,
+    planner_backend: Optional[str] = None,
 ) -> dict:
     """Plan ``app`` once under a profiling engine; return the raw capture.
 
@@ -361,7 +362,9 @@ def profile_planner(
     "engine", "frames", "profile_total_us"}``.  ``engine=None`` skips
     frame capture (counters and phases only).  The ``stack`` engine is
     scoped to ``spans``; ``cprofile`` wraps the whole pipeline (it
-    cannot pause mid-flight).
+    cannot pause mid-flight).  ``planner_backend`` selects the merge
+    planner (``reference``/``fast``) — the schedule is bit-identical
+    either way; the validity-family work counters are not.
     """
     from repro.core import KTiler, KTilerConfig
 
@@ -375,6 +378,7 @@ def profile_planner(
     ktiler = KTiler(
         app.graph, spec, config,
         tracer=tracer, backend=backend, workers=workers,
+        planner_backend=planner_backend,
     )
     frames: List[dict] = []
     profile_total_us = 0.0
@@ -477,6 +481,7 @@ def run_sweep(
     seed: int = 0,
     image_size: int = 32,
     log: Optional[Callable[[str], None]] = None,
+    planner_backend: Optional[str] = None,
 ) -> dict:
     """Plan a :func:`build_probe_graph` size ladder; fit scaling exponents.
 
@@ -513,6 +518,7 @@ def run_sweep(
             ktiler = KTiler(
                 app.graph, spec, config,
                 tracer=tracer, backend=backend, workers=workers,
+                planner_backend=planner_backend,
             )
             return ktiler.plan()
 
@@ -595,13 +601,14 @@ def build_profile_doc(
     backend: Optional[str] = None,
     workers: Optional[int] = None,
     max_frames: int = 200,
+    planner_backend: Optional[str] = None,
 ) -> dict:
     """Package a capture and/or sweep as a planner-profile document."""
     doc: dict = {
         "schema_version": PROFILE_SCHEMA_VERSION,
         "kind": "planner-profile",
         "created_unix": round(time.time(), 3),
-        "environment": environment_fingerprint(backend, workers),
+        "environment": environment_fingerprint(backend, workers, planner_backend),
         "app": app_label,
     }
     if capture is not None:

@@ -227,14 +227,28 @@ def block_graph_from_dict(payload: Dict) -> BlockDependencyGraph:
 # Tiled schedules (full TilingResult)
 # ----------------------------------------------------------------------
 def plan_key(
-    graph: KernelGraph, spec: GpuSpec, config, freq: FrequencyConfig
+    graph: KernelGraph,
+    spec: GpuSpec,
+    config,
+    freq: FrequencyConfig,
+    planner_backend: str = "reference",
 ) -> Dict:
+    """Store key of one plan artifact.
+
+    Unlike the sim backend, ``planner_backend`` *is* part of the key:
+    schedules are bit-identical across planner backends by contract,
+    but the validity-family work counters the plan payload carries
+    (``planner.merge_probes`` / ``planner.reach_repairs``) are
+    planner-backend-local, so the two backends must not share warm plan
+    entries.
+    """
     return {
         "artifact": "plan",
         "graph": graph_fingerprint(graph),
         "gpu": gpu_fingerprint(spec),
         "config": config_fingerprint(config),
         "freq": freq_fingerprint(freq),
+        "planner_backend": planner_backend,
     }
 
 

@@ -13,6 +13,13 @@ entry can never be served for a perturbed configuration.
 Deliberately **not** part of any key: the simulator backend.  The
 ``reference`` and ``fast`` L2 engines are bit-identical by contract
 (enforced by the differential suite), so both may share cache entries.
+
+The *planner* backend, by contrast, **is** part of the plan key (see
+:func:`repro.store.artifacts.plan_key`): both planner backends produce
+bit-identical schedules, but the plan payload also carries the
+validity-family work counters (``planner.merge_probes`` /
+``planner.reach_repairs``), which measure the selected backend's own
+merge-validity work and legitimately differ between backends.
 """
 
 from __future__ import annotations

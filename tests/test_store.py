@@ -27,6 +27,7 @@ import warnings
 import pytest
 
 from repro.apps.synthetic import build_jacobi_pingpong
+from repro.core.fast_cluster import resolve_planner_backend
 from repro.core.ktiler import KTiler, KTilerConfig
 from repro.gpusim import GpuSpec
 from repro.gpusim.freq import NOMINAL, FrequencyConfig
@@ -117,7 +118,10 @@ def test_l2_size_and_frequency_change_plan_keys(tmp_path):
     other_config = store.key_for(
         plan_key(graph, GpuSpec(), KTilerConfig(threshold_us=5.0), NOMINAL)
     )
-    assert len({base, small_l2, other_freq, other_config}) == 4
+    other_planner = store.key_for(
+        plan_key(graph, GpuSpec(), config, NOMINAL, planner_backend="fast")
+    )
+    assert len({base, small_l2, other_freq, other_config, other_planner}) == 5
 
 
 def test_store_version_is_part_of_every_key(tmp_path, monkeypatch):
@@ -206,7 +210,15 @@ def test_corrupted_plan_entry_falls_back_to_scheduling(tmp_path):
     store = ArtifactStore(tmp_path)
     expected = KTiler(graph, spec=spec, config=config).plan(NOMINAL)
     KTiler(graph, spec=spec, config=config, store=store).plan(NOMINAL)
-    key = store.key_for(plan_key(graph, spec, config, NOMINAL))
+    # The warm entry lives under whichever planner backend the run
+    # resolved (KTiler honours KTILER_PLANNER_BACKEND) — key it the
+    # same way or the corruption below would miss the artifact.
+    key = store.key_for(
+        plan_key(
+            graph, spec, config, NOMINAL,
+            planner_backend=resolve_planner_backend(),
+        )
+    )
     with open(store.path("plan", key), "w") as fh:
         fh.write('{"half an envel')
     with pytest.warns(RuntimeWarning):
