@@ -728,6 +728,150 @@ def _add_bench_compare_knobs(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import run_forever
+    from repro.serve.service import PlanService
+
+    tracer = Tracer()  # /metrics always exports; tracing costs little here
+    service = PlanService(
+        tracer=tracer,
+        store=_store(args, tracer),
+        sim_backend=_backend(args),
+        planner_backend=_planner_backend(args),
+        workers=_workers(args),
+        timeout_s=args.timeout_s,
+        max_body_bytes=args.max_body_kb * 1024,
+        planner_threads=args.planner_threads,
+    )
+    return run_forever(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+
+
+def _client_request_body(args: argparse.Namespace) -> dict:
+    """Assemble the /v1/plan body the flags describe (sparse: defaults
+    stay server-side so the fingerprint matches other clients')."""
+    app: dict = {"preset": args.preset}
+    for flag, key in (("size", "size"), ("levels", "levels"),
+                      ("iters", "iters"), ("kernels", "kernels"),
+                      ("seed", "seed")):
+        value = getattr(args, flag, None)
+        if value is not None:
+            app[key] = value
+    body: dict = {"app": app}
+    gpu: dict = {}
+    if args.gpu_base is not None:
+        gpu["base"] = args.gpu_base
+    if getattr(args, "l2_kb", None):
+        gpu["l2_kb"] = args.l2_kb
+    if gpu:
+        body["gpu"] = gpu
+    if args.gpu_mhz is not None or args.mem_mhz is not None:
+        freq = {}
+        if args.gpu_mhz is not None:
+            freq["gpu_mhz"] = args.gpu_mhz
+        if args.mem_mhz is not None:
+            freq["mem_mhz"] = args.mem_mhz
+        body["freq"] = freq
+    if _backend(args) is not None:
+        body["sim_backend"] = _backend(args)
+    if _planner_backend(args) is not None:
+        body["planner_backend"] = _planner_backend(args)
+    if _workers(args) is not None:
+        body["workers"] = _workers(args)
+    if getattr(args, "measure", False):
+        body["measure"] = True
+    if args.timeout_s is not None:
+        body["timeout_s"] = args.timeout_s
+    return body
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, ServeClientError
+
+    client = ServeClient(args.url)
+    try:
+        if args.action == "health":
+            result = client.health()
+            print(json.dumps(result, indent=1, sort_keys=True))
+        elif args.action == "metrics":
+            print(client.metrics(), end="")
+            result = None
+        else:
+            body = _client_request_body(args)
+            if args.action == "plan":
+                result = client.plan(body)
+                schedule = result["schedule"]
+                print(
+                    f"plan {result['request']['app']['preset']}: "
+                    f"{len(schedule['subkernels'])} launches, "
+                    f"estimated {result['estimated_cost_us']:.1f}us, "
+                    f"served={result['served']} "
+                    f"in {result['elapsed_ms']:.1f}ms"
+                )
+                print(f"fingerprint {result['fingerprint']}")
+                print(f"plan_digest {result['plan_digest']}")
+            else:
+                result = client.explain(body)
+                audit = result["audit"]
+                print(
+                    f"explain {result['request']['app']['preset']}: "
+                    f"{len(audit.get('edges', []))} audited edges, "
+                    f"served={result['served']} "
+                    f"in {result['elapsed_ms']:.1f}ms"
+                )
+                print(f"fingerprint {result['fingerprint']}")
+    except ServeClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    if result is not None and args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.obs.loadgen import run_loadgen, write_doc
+
+    app_params = {}
+    for flag in ("size", "levels", "iters", "kernels", "seed_param"):
+        value = getattr(args, flag, None)
+        if value is not None:
+            app_params[flag.replace("_param", "")] = value
+    doc = run_loadgen(
+        url=args.url,
+        preset=args.preset,
+        clients=args.clients,
+        requests=args.requests,
+        distinct=args.distinct,
+        seed=args.seed,
+        app_params=app_params or None,
+        sim_backend=_backend(args),
+        planner_backend=_planner_backend(args),
+        workers=_workers(args),
+        log=lambda message: print(message, file=sys.stderr),
+    )
+    summary = doc["loadgen"]
+    print(
+        f"{summary['requests']} requests, "
+        f"{summary['throughput_rps']:.1f} req/s, "
+        f"p50 {summary['p50_ms']:.2f}ms, p99 {summary['p99_ms']:.2f}ms"
+    )
+    if args.json:
+        write_doc(doc, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+SERVE_CLIENT_ACTIONS = ("plan", "explain", "health", "metrics")
+LOADGEN_PRESETS = PROFILE_PRESETS
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ktiler",
@@ -919,6 +1063,108 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--html", metavar="PATH", default="bench.html",
                    help="dashboard output path")
     b.set_defaults(func=_cmd_bench_report)
+
+    p = sub.add_parser(
+        "serve",
+        help=(
+            "tiling-as-a-service daemon: POST /v1/plan and /v1/explain "
+            "with single-flight dedup over the artifact store"
+        ),
+        description=(
+            "Long-running threaded HTTP/JSON daemon.  Identical requests "
+            "are fingerprinted with the plan artifact-store key: "
+            "concurrent duplicates coalesce onto one planning job, "
+            "completed plans are memoized and (with --cache-dir) persist "
+            "across restarts.  GET /healthz and /metrics for probes."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8750,
+                   help="bind port (0 = ephemeral; the bound port is "
+                        "printed on stderr)")
+    p.add_argument("--timeout-s", type=float, default=300.0, metavar="S",
+                   help="per-request planning-wait ceiling (504 after; "
+                        "the job continues and a retry is served warm)")
+    p.add_argument("--max-body-kb", type=int, default=1024, metavar="KB",
+                   help="largest accepted request body (413 above)")
+    p.add_argument("--planner-threads", type=int, default=4, metavar="N",
+                   help="concurrent planning jobs (distinct fingerprints)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request to stderr")
+    _add_common(p)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="talk to a running `ktiler serve` daemon",
+    )
+    p.add_argument("action", choices=SERVE_CLIENT_ACTIONS)
+    p.add_argument("--url", default="http://127.0.0.1:8750",
+                   help="daemon base URL")
+    p.add_argument("--preset", choices=PROFILE_PRESETS, default="demo",
+                   help="application preset to plan/explain")
+    p.add_argument("--size", type=int, default=None,
+                   help="preset size parameter (server default if omitted)")
+    p.add_argument("--levels", type=int, default=None,
+                   help="pyramid levels (fig5)")
+    p.add_argument("--iters", type=int, default=None,
+                   help="Jacobi iterations (fig5, jacobi)")
+    p.add_argument("--kernels", type=int, default=None,
+                   help="probe-graph node count (chain/fan/grid)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="probe-graph jitter seed (chain/fan/grid)")
+    p.add_argument("--gpu-base", choices=("scaled", "paper", "embedded",
+                                          "desktop"), default=None,
+                   help="GpuSpec preset (server default: scaled)")
+    p.add_argument("--gpu-mhz", type=float, default=None,
+                   help="core frequency (default: nominal)")
+    p.add_argument("--mem-mhz", type=float, default=None,
+                   help="memory frequency (default: nominal)")
+    p.add_argument("--measure", action="store_true",
+                   help="also replay the plan and return wire timing "
+                        "(blocking + streamed)")
+    p.add_argument("--timeout-s", type=float, default=None, metavar="S",
+                   help="client-side request timeout forwarded to the "
+                        "daemon")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the full response JSON")
+    _add_common(p)
+    p.set_defaults(func=_cmd_client)
+
+    p = sub.add_parser(
+        "loadgen",
+        help=(
+            "closed-loop load generator against the serve daemon; "
+            "emits a schema-valid bench document (req/s, p50/p99)"
+        ),
+    )
+    p.add_argument("--url", default=None,
+                   help="daemon base URL (default: boot an in-process "
+                        "daemon for the run)")
+    p.add_argument("--preset", choices=LOADGEN_PRESETS, default="demo")
+    p.add_argument("--clients", type=int, default=4, metavar="N",
+                   help="concurrent closed-loop client threads")
+    p.add_argument("--requests", type=int, default=25, metavar="N",
+                   help="timed requests per client")
+    p.add_argument("--distinct", type=int, default=1, metavar="K",
+                   help="distinct request fingerprints to rotate over "
+                        "(walks a frequency ladder)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="request-schedule seed (deterministic mix)")
+    p.add_argument("--size", type=int, default=None,
+                   help="preset size parameter")
+    p.add_argument("--levels", type=int, default=None,
+                   help="pyramid levels (fig5)")
+    p.add_argument("--iters", type=int, default=None,
+                   help="Jacobi iterations (fig5, jacobi)")
+    p.add_argument("--kernels", type=int, default=None,
+                   help="probe-graph node count (chain/fan/grid)")
+    p.add_argument("--seed-param", type=int, default=None, metavar="SEED",
+                   help="probe-graph jitter seed (chain/fan/grid)")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="bench-document output path (BENCH artifact)")
+    _add_common(p)
+    p.set_defaults(func=_cmd_loadgen)
 
     return parser
 

@@ -77,6 +77,15 @@ METRIC_HELP: Dict[str, str] = {
     "audit.edge.actual_us": "per-edge replayed saving",
     "audit.edge.error_abs_us": "per-edge |predicted - actual|",
     "audit.edge.error_rel": "per-edge relative prediction error",
+    "serve.requests": "HTTP requests served, by endpoint and status",
+    "serve.plans": "planning jobs executed (one per distinct fingerprint)",
+    "serve.memo_hits": "requests answered from the in-process memo",
+    "serve.coalesced": "requests that joined an in-flight planning job",
+    "serve.errors": "requests rejected with a structured error, by code",
+    "serve.latency_ms": "summed request wall milliseconds, by endpoint",
+    "serve.inflight": "planning jobs currently in flight",
+    "serve.memo_entries": "responses held in the in-process memo",
+    "serve.uptime_s": "seconds since the daemon started",
 }
 
 #: (prefix, help template) rules for dynamically-named families.

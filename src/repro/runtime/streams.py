@@ -30,7 +30,7 @@ pipeline the launch overhead, never the execution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.gpusim.arch import GpuSpec
 from repro.gpusim.dram import DramModel
@@ -65,6 +65,42 @@ class StreamedMeasurement:
         """Share of the nominal gap time hidden by pipelining."""
         nominal = self.nominal_total_gap_us
         return 0.0 if nominal == 0 else 1.0 - self.exposed_gap_us / nominal
+
+    def as_dict(self) -> Dict:
+        """JSON-ready wire form (the serve API's ``timing.streamed``).
+
+        The stored fields are the measurement's state; the derived
+        views (``total_us`` etc.) are included for readers but ignored
+        by :meth:`from_dict`, so a round trip is exact.
+        """
+        return {
+            "schedule_name": self.schedule_name,
+            "freq": {"gpu_mhz": self.freq.gpu_mhz, "mem_mhz": self.freq.mem_mhz},
+            "num_launches": self.num_launches,
+            "busy_us": self.busy_us,
+            "exposed_gap_us": self.exposed_gap_us,
+            "nominal_gap_us": self.nominal_gap_us,
+            "hit_rate": self.hit_rate,
+            "total_us": self.total_us,
+            "nominal_total_gap_us": self.nominal_total_gap_us,
+            "hidden_gap_fraction": self.hidden_gap_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "StreamedMeasurement":
+        """Rebuild a measurement from :meth:`as_dict` output."""
+        freq = payload["freq"]
+        return cls(
+            schedule_name=payload["schedule_name"],
+            freq=FrequencyConfig(
+                gpu_mhz=float(freq["gpu_mhz"]), mem_mhz=float(freq["mem_mhz"])
+            ),
+            num_launches=int(payload["num_launches"]),
+            busy_us=float(payload["busy_us"]),
+            exposed_gap_us=float(payload["exposed_gap_us"]),
+            nominal_gap_us=float(payload["nominal_gap_us"]),
+            hit_rate=float(payload["hit_rate"]),
+        )
 
 
 def measure_with_streams(

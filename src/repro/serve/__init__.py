@@ -1,0 +1,49 @@
+"""Tiling-as-a-service: the ``ktiler serve`` daemon and its client.
+
+The layers, bottom up:
+
+* :mod:`repro.serve.wire` — request parsing/validation, app presets,
+  fingerprints (= plan store keys) and plan digests;
+* :mod:`repro.serve.service` — :class:`PlanService`: memo +
+  single-flight dedup + artifact store, serve.* metrics and spans;
+* :mod:`repro.serve.server` — the stdlib threaded HTTP daemon;
+* :mod:`repro.serve.client` — the stdlib client (``ktiler client``).
+"""
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.server import ServeHandle, run_forever, start_server, wait_until_ready
+from repro.serve.service import (
+    DEFAULT_MAX_BODY_BYTES,
+    DEFAULT_TIMEOUT_S,
+    PlanService,
+)
+from repro.serve.wire import (
+    GPU_BASES,
+    SERVE_PRESETS,
+    PlanRequest,
+    WireError,
+    error_body,
+    parse_plan_request,
+    plan_digest,
+    plan_fingerprint,
+)
+
+__all__ = [
+    "DEFAULT_MAX_BODY_BYTES",
+    "DEFAULT_TIMEOUT_S",
+    "GPU_BASES",
+    "SERVE_PRESETS",
+    "PlanRequest",
+    "PlanService",
+    "ServeClient",
+    "ServeClientError",
+    "ServeHandle",
+    "WireError",
+    "error_body",
+    "parse_plan_request",
+    "plan_digest",
+    "plan_fingerprint",
+    "run_forever",
+    "start_server",
+    "wait_until_ready",
+]

@@ -1,0 +1,72 @@
+"""Minimal stdlib client of the tiling service.
+
+Used by ``ktiler client``, the load generator, and the black-box test
+suite — all of which deliberately go through real HTTP (urllib over a
+socket) rather than calling :class:`~repro.serve.service.PlanService`
+directly, so the wire format itself is what gets exercised.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+
+class ServeClientError(Exception):
+    """A non-2xx response, carrying the structured error body."""
+
+    def __init__(self, status: int, body: Any):
+        self.status = status
+        self.body = body
+        error = body.get("error", {}) if isinstance(body, dict) else {}
+        self.code = error.get("code", "unknown")
+        message = error.get("message", str(body))
+        super().__init__(f"HTTP {status} [{self.code}]: {message}")
+
+
+class ServeClient:
+    """Blocking JSON client for one daemon URL."""
+
+    def __init__(self, url: str, timeout_s: float = 600.0):
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ):
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                body = resp.read().decode("utf-8")
+                content_type = resp.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                parsed = json.loads(raw)
+            except ValueError:
+                parsed = {"error": {"code": "non_json", "message": raw}}
+            raise ServeClientError(exc.code, parsed) from None
+        if content_type.startswith("application/json"):
+            return json.loads(body)
+        return body
+
+    def plan(self, request: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        return self._request("POST", "/v1/plan", request or {})
+
+    def explain(self, request: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        return self._request("POST", "/v1/explain", request or {})
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        return self._request("GET", "/metrics")

@@ -1,0 +1,334 @@
+"""The tiling service: fingerprint → plan, deduplicated three ways.
+
+:class:`PlanService` sits between the HTTP layer (``server.py``) and
+the KTILER pipeline and layers three caches, cheapest first:
+
+1. **memo** — completed responses by fingerprint, in-process;
+2. **single-flight** — concurrent requests for the same fingerprint
+   coalesce onto one in-flight planning job (one ``Future``) instead
+   of planning N times;
+3. **artifact store** — the plan lands under its fingerprint (which IS
+   the store key, see :func:`repro.serve.wire.plan_fingerprint`), so a
+   restarted daemon — or an offline ``ktiler`` run with the same
+   ``--cache-dir`` — reuses it without replanning.
+
+All of this is safe precisely because plans are bit-identical by
+contract: any two requests with equal fingerprints would compute
+byte-equal schedules, so sharing one result is indistinguishable from
+planning twice.  The black-box suite (``tests/test_serve.py``) holds
+the daemon to that.
+
+Per-request work is traced (``serve.request`` / ``serve.plan`` spans)
+and counted (``serve.*`` families, exported at ``GET /metrics``).  A
+request that outlives its timeout gets a structured 504 but the job
+keeps running and lands in the memo — a retry is served warm.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import asdict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.obs.tracer import Tracer
+from repro.serve.wire import (
+    PlanRequest,
+    WireError,
+    parse_plan_request,
+    plan_digest,
+    plan_fingerprint,
+)
+from repro.store.store import NULL_STORE
+
+#: Memoized responses kept per daemon (LRU beyond this).
+DEFAULT_MEMO_ENTRIES = 1024
+
+#: Ceiling on any single request's planning wait, seconds.
+DEFAULT_TIMEOUT_S = 300.0
+
+#: Largest request body the HTTP layer will read, bytes.
+DEFAULT_MAX_BODY_BYTES = 1024 * 1024
+
+
+class PlanService:
+    """Thread-safe plan/explain engine behind the HTTP daemon."""
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        store=NULL_STORE,
+        sim_backend: Optional[str] = None,
+        planner_backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        planner_threads: int = 4,
+        max_memo_entries: int = DEFAULT_MEMO_ENTRIES,
+    ):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.store = store
+        # A daemon's /metrics should cover store traffic: adopt a store
+        # constructed without its own tracer into ours.
+        if getattr(store, "enabled", False) and not store.tracer.enabled:
+            store.tracer = self.tracer
+        self.timeout_s = timeout_s
+        self.max_body_bytes = max_body_bytes
+        self.defaults = {
+            "sim_backend": sim_backend,
+            "planner_backend": planner_backend,
+            "workers": workers,
+        }
+        self._lock = threading.Lock()
+        self._memo: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._max_memo_entries = max_memo_entries
+        self._inflight: Dict[str, Any] = {}
+        self._pool = ThreadPoolExecutor(
+            max_workers=planner_threads, thread_name_prefix="ktiler-plan"
+        )
+        self._started = time.time()
+        self._monotonic = time.perf_counter
+
+    # -- counters ----------------------------------------------------
+
+    def _count(self, name: str, value: float = 1, **labels) -> None:
+        with self._lock:
+            self.tracer.metrics.inc(f"serve.{name}", value, **labels)
+
+    def _observe_latency(self, endpoint: str, elapsed_s: float) -> None:
+        self._count("latency_ms", elapsed_s * 1000.0, endpoint=endpoint)
+
+    # -- single flight -----------------------------------------------
+
+    def _single_flight(
+        self, key: str, job: Callable[[], Dict[str, Any]], timeout_s: float
+    ) -> Tuple[Dict[str, Any], str]:
+        """Return (result, served) where served ∈ planned/memo/coalesced.
+
+        The leader thread for a key runs ``job`` on the planner pool;
+        every other thread arriving before it completes waits on the
+        same future.  Timeouts abandon the wait, never the job.
+        """
+        with self._lock:
+            cached = self._memo.get(key)
+            if cached is not None:
+                self._memo.move_to_end(key)
+                self.tracer.metrics.inc("serve.memo_hits")
+                return cached, "memo"
+            future = self._inflight.get(key)
+            if future is not None:
+                served = "coalesced"
+                self.tracer.metrics.inc("serve.coalesced")
+            else:
+                served = "planned"
+                future = self._pool.submit(self._run_job, key, job)
+                self._inflight[key] = future
+        try:
+            result = future.result(timeout=timeout_s)
+        except FutureTimeout:
+            raise WireError(
+                "timeout",
+                f"request exceeded {timeout_s:g}s; the planning job "
+                "continues and a retry will be served warm",
+                status=504,
+            )
+        return result, served
+
+    def _run_job(self, key: str, job: Callable[[], Dict[str, Any]]) -> Dict[str, Any]:
+        try:
+            result = job()
+            with self._lock:
+                self._memo[key] = result
+                while len(self._memo) > self._max_memo_entries:
+                    self._memo.popitem(last=False)
+            return result
+        finally:
+            # Memo (on success) is published before the in-flight entry
+            # disappears, so late arrivals always see one or the other.
+            with self._lock:
+                self._inflight.pop(key, None)
+
+    # -- endpoints ---------------------------------------------------
+
+    def plan(self, payload: Any) -> Dict[str, Any]:
+        """Serve ``POST /v1/plan``: a tiled schedule for the request."""
+        return self._serve("plan", payload)
+
+    def explain(self, payload: Any) -> Dict[str, Any]:
+        """Serve ``POST /v1/explain``: the audit report for the request."""
+        return self._serve("explain", payload)
+
+    def _serve(self, endpoint: str, payload: Any) -> Dict[str, Any]:
+        t0 = self._monotonic()
+        try:
+            request = parse_plan_request(
+                payload,
+                default_sim_backend=self.defaults["sim_backend"],
+                default_planner_backend=self.defaults["planner_backend"],
+                default_workers=self.defaults["workers"],
+            )
+            fingerprint = plan_fingerprint(request, self.store.key_for)
+            timeout_s = self.timeout_s
+            if request.timeout_s is not None:
+                timeout_s = min(request.timeout_s, self.timeout_s)
+            # The measure flag changes the response payload (not the
+            # plan), so measured and unmeasured variants memoize apart.
+            key = f"{endpoint}:{fingerprint}"
+            if endpoint == "plan" and request.measure:
+                key += ":measured"
+            if endpoint == "plan":
+                job = lambda: self._plan_job(request, fingerprint)
+            else:
+                job = lambda: self._explain_job(request, fingerprint)
+            with self.tracer.span(
+                "serve.request",
+                cat="serve",
+                endpoint=endpoint,
+                fingerprint=fingerprint[:12],
+                preset=request.preset,
+            ):
+                result, served = self._single_flight(key, job, timeout_s)
+        except WireError as exc:
+            self._count("requests", endpoint=endpoint, status=str(exc.status))
+            self._count("errors", code=exc.code)
+            raise
+        except Exception:
+            self._count("requests", endpoint=endpoint, status="500")
+            self._count("errors", code="internal")
+            raise
+        elapsed_s = self._monotonic() - t0
+        self._count("requests", endpoint=endpoint, status="200")
+        self._observe_latency(endpoint, elapsed_s)
+        response = dict(result)
+        response["served"] = served
+        response["elapsed_ms"] = round(elapsed_s * 1000.0, 3)
+        return response
+
+    # -- jobs --------------------------------------------------------
+
+    def _make_ktiler(self, request: PlanRequest):
+        from repro.core.ktiler import KTiler
+
+        return KTiler(
+            request.graph,
+            spec=request.spec,
+            config=request.config,
+            tracer=self.tracer,
+            backend=request.sim_backend,
+            workers=request.workers,
+            store=self.store,
+            planner_backend=request.planner_backend,
+        )
+
+    def _plan_job(self, request: PlanRequest, fingerprint: str) -> Dict[str, Any]:
+        from repro.core.serialize import schedule_to_dict
+
+        with self.tracer.span(
+            "serve.plan",
+            cat="serve",
+            fingerprint=fingerprint[:12],
+            preset=request.preset,
+        ):
+            plan = self._make_ktiler(request).plan(request.freq)
+            result = {
+                "kind": "plan",
+                "fingerprint": fingerprint,
+                "plan_digest": plan_digest(plan.schedule, request.graph),
+                "schedule": schedule_to_dict(plan.schedule, request.graph),
+                "estimated_cost_us": plan.estimated_cost_us,
+                "stats": asdict(plan.stats),
+                "request": request.echo,
+            }
+            if request.measure:
+                result["timing"] = self._timing(request, plan)
+        self._count("plans")
+        return result
+
+    def _timing(self, request: PlanRequest, plan) -> Dict[str, Any]:
+        from repro.runtime.launcher import measure_at, tally_schedule
+        from repro.runtime.streams import measure_with_streams
+
+        tallies = tally_schedule(
+            plan.schedule,
+            request.graph,
+            request.spec,
+            tracer=self.tracer,
+            backend=request.sim_backend,
+        )
+        blocking = measure_at(tallies, request.spec, request.freq)
+        streamed = measure_with_streams(tallies, request.spec, request.freq)
+        return {
+            "blocking": {
+                "schedule_name": blocking.schedule_name,
+                "num_launches": blocking.num_launches,
+                "total_us": blocking.total_us,
+                "busy_us": blocking.busy_us,
+                "hit_rate": blocking.hit_rate,
+            },
+            "streamed": streamed.as_dict(),
+        }
+
+    def _explain_job(self, request: PlanRequest, fingerprint: str) -> Dict[str, Any]:
+        from repro.obs.audit import audit_schedule
+
+        with self.tracer.span(
+            "serve.explain",
+            cat="serve",
+            fingerprint=fingerprint[:12],
+            preset=request.preset,
+        ):
+            audit = audit_schedule(
+                self._make_ktiler(request), freq=request.freq, tracer=self.tracer
+            )
+            result = {
+                "kind": "explain",
+                "fingerprint": fingerprint,
+                "audit": audit.to_json_dict(preset=request.preset),
+                "request": request.echo,
+            }
+        self._count("plans")
+        return result
+
+    # -- introspection -----------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        self._count("requests", endpoint="healthz", status="200")
+        with self._lock:
+            inflight = len(self._inflight)
+            memo = len(self._memo)
+            totals = {
+                name: self.tracer.metrics.total(name)
+                for name in ("serve.requests", "serve.plans", "serve.coalesced",
+                             "serve.memo_hits", "serve.errors")
+            }
+        return {
+            "status": "ok",
+            "uptime_s": round(time.time() - self._started, 3),
+            "inflight": inflight,
+            "memo_entries": memo,
+            "counters": totals,
+            "store": (
+                str(self.store.root)
+                if getattr(self.store, "root", None) is not None
+                else None
+            ),
+            "defaults": dict(self.defaults),
+        }
+
+    def metrics_text(self) -> str:
+        from repro.obs.report import metrics_to_prometheus
+
+        self._count("requests", endpoint="metrics", status="200")
+        with self._lock:
+            self.tracer.metrics.set_gauge("serve.inflight", len(self._inflight))
+            self.tracer.metrics.set_gauge("serve.memo_entries", len(self._memo))
+            self.tracer.metrics.set_gauge(
+                "serve.uptime_s", round(time.time() - self._started, 3)
+            )
+            return metrics_to_prometheus(self.tracer.metrics)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False)

@@ -1,0 +1,449 @@
+"""JSON wire format of the tiling service (``ktiler serve``).
+
+This module owns everything about the request/response *shape* of the
+HTTP API and keeps the service itself free of parsing concerns:
+
+* parsing and validating ``POST /v1/plan`` / ``POST /v1/explain``
+  request bodies into a :class:`PlanRequest` (structured
+  :class:`WireError` on anything malformed, mapped to 4xx);
+* the app-preset registry (the ``ktiler explain`` presets plus the
+  ``chain``/``fan``/``grid`` scalability probes) with per-preset
+  parameter whitelists and bounds, so a request can never build an
+  unbounded graph;
+* request *fingerprints* — exactly the plan artifact-store key
+  (:func:`repro.store.plan_key` hashed with the store's content key),
+  so a daemon's dedup map, its artifact store, and offline CLI runs
+  all share one notion of identity;
+* plan *digests* — the content key of the schedule's serialized form,
+  the quantity the bit-identity contract is stated over.
+
+The fingerprint covers only plan-*semantic* inputs (graph, GpuSpec,
+frequency, KTilerConfig, planner backend).  Execution knobs that are
+bit-identical by contract (sim backend, worker count) are deliberately
+excluded: requests differing only in those coalesce onto one job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.fast_cluster import resolve_planner_backend
+from repro.core.ktiler import KTilerConfig
+from repro.gpusim.arch import ConfigurationError, GpuSpec
+from repro.gpusim.fast_cache import resolve_backend
+from repro.gpusim.freq import NOMINAL, FrequencyConfig
+from repro.graph.kernel_graph import KernelGraph
+from repro.parallel.pool import resolve_workers
+from repro.store.artifacts import plan_key
+from repro.store.fingerprint import content_key
+
+
+class WireError(Exception):
+    """A malformed or unserviceable request, carrying its HTTP status."""
+
+    def __init__(self, code: str, message: str, status: int = 400):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.status = status
+
+    def body(self) -> Dict[str, Any]:
+        return error_body(self.code, self.message)
+
+
+def error_body(code: str, message: str) -> Dict[str, Any]:
+    """The structured error shape every non-2xx response uses."""
+    return {"error": {"code": code, "message": message}}
+
+
+# --------------------------------------------------------------------
+# App presets
+
+
+def _probe_builder(shape: str) -> Callable[[Dict[str, Any]], Any]:
+    def build(params: Dict[str, Any]):
+        from repro.apps.synthetic import build_probe_graph
+
+        return build_probe_graph(
+            shape=shape,
+            kernels=params["kernels"],
+            size=params["size"],
+            seed=params["seed"],
+        )
+
+    return build
+
+
+def _build_preset(preset: str, params: Dict[str, Any]):
+    from repro.apps import build_hsopticalflow, build_pipeline
+    from repro.apps.synthetic import (
+        build_diamond,
+        build_jacobi_pingpong,
+        build_stencil_chain,
+    )
+
+    if preset == "fig5":
+        return build_hsopticalflow(
+            frame_size=params["size"],
+            levels=params["levels"],
+            jacobi_iters=params["iters"],
+        )
+    if preset == "demo":
+        return build_pipeline(size=params["size"])
+    if preset == "pipeline":
+        return build_pipeline(size=params["size"])
+    if preset == "jacobi":
+        return build_jacobi_pingpong(iters=params["iters"], size=params["size"])
+    if preset == "diamond":
+        return build_diamond(size=params["size"])
+    if preset == "stencil":
+        return build_stencil_chain(size=params["size"])
+    return _probe_builder(preset)(params)
+
+
+#: preset -> {param: (default, lo, hi)}.  Matches ``_build_explain_app``
+#: defaults in the CLI so ``{"preset": "fig5"}`` plans the same graph
+#: ``ktiler explain fig5`` audits.
+SERVE_PRESETS: Dict[str, Dict[str, Tuple[int, int, int]]] = {
+    "demo": {"size": (128, 8, 2048)},
+    "pipeline": {"size": (256, 8, 2048)},
+    "fig5": {
+        "size": (256, 8, 2048),
+        "levels": (3, 1, 8),
+        "iters": (20, 1, 500),
+    },
+    "jacobi": {"size": (256, 8, 2048), "iters": (5, 1, 500)},
+    "diamond": {"size": (128, 8, 2048)},
+    "stencil": {"size": (128, 8, 2048)},
+    "chain": {
+        "kernels": (64, 1, 4096),
+        "size": (32, 8, 256),
+        "seed": (0, 0, 2**31 - 1),
+    },
+    "fan": {
+        "kernels": (64, 1, 4096),
+        "size": (32, 8, 256),
+        "seed": (0, 0, 2**31 - 1),
+    },
+    "grid": {
+        "kernels": (64, 1, 4096),
+        "size": (32, 8, 256),
+        "seed": (0, 0, 2**31 - 1),
+    },
+}
+
+#: GpuSpec preset names accepted as ``gpu.base``.
+GPU_BASES: Tuple[str, ...] = ("scaled", "paper", "embedded", "desktop")
+
+def _resolve_gpu_base(name: str) -> GpuSpec:
+    from repro.experiments.presets import PAPER_SPEC, SCALED_SPEC
+    from repro.gpusim.arch import DESKTOP_GPU, EMBEDDED_GPU
+
+    return {
+        "scaled": SCALED_SPEC,
+        "paper": PAPER_SPEC,
+        "embedded": EMBEDDED_GPU,
+        "desktop": DESKTOP_GPU,
+    }[name]
+
+
+def _require_mapping(value: Any, name: str) -> Dict[str, Any]:
+    if not isinstance(value, dict):
+        raise WireError("bad_request", f"'{name}' must be a JSON object")
+    return value
+
+
+def _int_in(params: Dict[str, Any], key: str, default: int, lo: int, hi: int) -> int:
+    value = params.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise WireError("bad_value", f"app.{key} must be an integer")
+    if not lo <= value <= hi:
+        raise WireError(
+            "bad_value", f"app.{key}={value} out of range [{lo}, {hi}]"
+        )
+    return value
+
+
+def _parse_app(payload: Dict[str, Any]) -> Tuple[str, Dict[str, int], KernelGraph]:
+    app = _require_mapping(payload.get("app", {"preset": "demo"}), "app")
+    preset = app.get("preset", "demo")
+    if preset not in SERVE_PRESETS:
+        raise WireError(
+            "unknown_preset",
+            f"unknown app.preset {preset!r}; known: {', '.join(sorted(SERVE_PRESETS))}",
+        )
+    allowed = SERVE_PRESETS[preset]
+    extra = set(app) - set(allowed) - {"preset"}
+    if extra:
+        raise WireError(
+            "bad_request",
+            f"app.preset {preset!r} does not accept: {', '.join(sorted(extra))}",
+        )
+    params = {
+        key: _int_in(app, key, default, lo, hi)
+        for key, (default, lo, hi) in allowed.items()
+    }
+    built = _build_preset(preset, params)
+    return preset, params, built.graph
+
+
+def _parse_gpu(payload: Dict[str, Any]) -> Tuple[str, Dict[str, Any], GpuSpec]:
+    gpu = _require_mapping(payload.get("gpu", {}), "gpu")
+    base_name = gpu.get("base", "scaled")
+    if base_name not in GPU_BASES:
+        raise WireError(
+            "unknown_gpu",
+            f"unknown gpu.base {base_name!r}; known: {', '.join(GPU_BASES)}",
+        )
+    base = _resolve_gpu_base(base_name)
+    spec_fields = {f.name for f in fields(GpuSpec)} - {"extras"}
+    overrides: Dict[str, Any] = {}
+    for key, value in gpu.items():
+        if key == "base":
+            continue
+        if key == "l2_kb":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise WireError("bad_value", "gpu.l2_kb must be a number")
+            overrides["l2_bytes"] = int(value * 1024)
+            continue
+        if key not in spec_fields:
+            raise WireError("unknown_gpu", f"unknown GpuSpec field {key!r}")
+        if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+            raise WireError("bad_value", f"gpu.{key} must be a number or string")
+        overrides[key] = value
+    try:
+        spec = replace(base, **overrides) if overrides else base
+    except (ConfigurationError, TypeError, ValueError) as exc:
+        raise WireError("bad_value", f"invalid GpuSpec: {exc}")
+    echo = {"base": base_name}
+    echo.update({k: v for k, v in gpu.items() if k != "base"})
+    return base_name, echo, spec
+
+
+def _parse_freq(payload: Dict[str, Any]) -> FrequencyConfig:
+    freq = _require_mapping(
+        payload.get("freq", {"gpu_mhz": NOMINAL.gpu_mhz, "mem_mhz": NOMINAL.mem_mhz}),
+        "freq",
+    )
+    extra = set(freq) - {"gpu_mhz", "mem_mhz"}
+    if extra:
+        raise WireError(
+            "bad_request", f"unknown freq fields: {', '.join(sorted(extra))}"
+        )
+    values = {}
+    for key in ("gpu_mhz", "mem_mhz"):
+        value = freq.get(key, getattr(NOMINAL, key))
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise WireError("bad_value", f"freq.{key} must be a number")
+        values[key] = float(value)
+    try:
+        return FrequencyConfig(**values)
+    except ConfigurationError as exc:
+        raise WireError("bad_value", f"invalid frequency: {exc}")
+
+
+def _parse_config(payload: Dict[str, Any], spec: GpuSpec) -> KTilerConfig:
+    config = _require_mapping(payload.get("config", {}), "config")
+    allowed = {f.name for f in fields(KTilerConfig)}
+    extra = set(config) - allowed
+    if extra:
+        raise WireError(
+            "bad_request",
+            f"unknown config fields: {', '.join(sorted(extra))}",
+        )
+    kwargs: Dict[str, Any] = {}
+    for key, value in config.items():
+        if key == "grid_fractions":
+            if not isinstance(value, list) or not value:
+                raise WireError(
+                    "bad_value", "config.grid_fractions must be a non-empty list"
+                )
+            for item in value:
+                if isinstance(item, bool) or not isinstance(item, (int, float)):
+                    raise WireError(
+                        "bad_value", "config.grid_fractions entries must be numbers"
+                    )
+                if not 0.0 < item <= 1.0:
+                    raise WireError(
+                        "bad_value",
+                        "config.grid_fractions entries must be in (0, 1]",
+                    )
+            kwargs[key] = tuple(float(v) for v in value)
+        elif key == "include_anti":
+            if not isinstance(value, bool):
+                raise WireError("bad_value", "config.include_anti must be a boolean")
+            kwargs[key] = value
+        elif key == "max_cluster_nodes":
+            if value is not None and (
+                isinstance(value, bool) or not isinstance(value, int) or value < 1
+            ):
+                raise WireError(
+                    "bad_value", "config.max_cluster_nodes must be null or int >= 1"
+                )
+            kwargs[key] = value
+        else:  # threshold_us / launch_overhead_us
+            if value is not None and (
+                isinstance(value, bool)
+                or not isinstance(value, (int, float))
+                or value < 0
+            ):
+                raise WireError(
+                    "bad_value", f"config.{key} must be a non-negative number"
+                )
+            kwargs[key] = None if value is None else float(value)
+    # The serve default matches `ktiler explain`: charge the device's
+    # inter-launch gap per launch unless the request says otherwise.
+    if "launch_overhead_us" not in kwargs:
+        kwargs["launch_overhead_us"] = spec.launch_gap_us
+    return KTilerConfig(**kwargs)
+
+
+_TOP_KEYS = {
+    "app",
+    "gpu",
+    "freq",
+    "config",
+    "planner_backend",
+    "sim_backend",
+    "workers",
+    "measure",
+    "timeout_s",
+}
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """A validated plan/explain request, ready to hand to a KTiler."""
+
+    preset: str
+    params: Dict[str, int]
+    graph: KernelGraph
+    spec: GpuSpec
+    freq: FrequencyConfig
+    config: KTilerConfig
+    planner_backend: str
+    sim_backend: str
+    workers: int
+    measure: bool = False
+    timeout_s: Optional[float] = None
+    echo: Dict[str, Any] = field(default_factory=dict)
+
+
+def parse_plan_request(
+    payload: Any,
+    default_sim_backend: Optional[str] = None,
+    default_planner_backend: Optional[str] = None,
+    default_workers: Optional[int] = None,
+) -> PlanRequest:
+    """Validate a decoded JSON body into a :class:`PlanRequest`.
+
+    Raises :class:`WireError` (→ 4xx) on any unknown key, unknown
+    preset/GpuSpec field, or out-of-bounds value; unspecified knobs fall
+    back to the service defaults and then the usual env-var resolution.
+    """
+    body = _require_mapping(payload, "request body")
+    extra = set(body) - _TOP_KEYS
+    if extra:
+        raise WireError(
+            "bad_request",
+            f"unknown request fields: {', '.join(sorted(extra))}",
+        )
+    preset, params, graph = _parse_app(body)
+    base_name, gpu_echo, spec = _parse_gpu(body)
+    freq = _parse_freq(body)
+    config = _parse_config(body, spec)
+
+    planner_backend = body.get("planner_backend", default_planner_backend)
+    if planner_backend is not None and not isinstance(planner_backend, str):
+        raise WireError("bad_value", "planner_backend must be a string")
+    try:
+        planner_backend = resolve_planner_backend(planner_backend)
+    except ConfigurationError as exc:
+        raise WireError("bad_value", str(exc))
+
+    sim_backend = body.get("sim_backend", default_sim_backend)
+    if sim_backend is not None and not isinstance(sim_backend, str):
+        raise WireError("bad_value", "sim_backend must be a string")
+    try:
+        sim_backend = resolve_backend(sim_backend)
+    except ConfigurationError as exc:
+        raise WireError("bad_value", str(exc))
+
+    workers = body.get("workers", default_workers)
+    if workers is not None and (
+        isinstance(workers, bool) or not isinstance(workers, int)
+    ):
+        raise WireError("bad_value", "workers must be an integer")
+    if workers is not None and not 1 <= workers <= 64:
+        raise WireError("bad_value", f"workers={workers} out of range [1, 64]")
+    try:
+        workers = resolve_workers(workers)
+    except ConfigurationError as exc:
+        raise WireError("bad_value", str(exc))
+
+    measure = body.get("measure", False)
+    if not isinstance(measure, bool):
+        raise WireError("bad_value", "measure must be a boolean")
+
+    timeout_s = body.get("timeout_s")
+    if timeout_s is not None and (
+        isinstance(timeout_s, bool)
+        or not isinstance(timeout_s, (int, float))
+        or timeout_s <= 0
+    ):
+        raise WireError("bad_value", "timeout_s must be a positive number")
+
+    echo = {
+        "app": {"preset": preset, **params},
+        "gpu": gpu_echo,
+        "freq": {"gpu_mhz": freq.gpu_mhz, "mem_mhz": freq.mem_mhz},
+        "config": _config_echo(config),
+        "planner_backend": planner_backend,
+    }
+    return PlanRequest(
+        preset=preset,
+        params=params,
+        graph=graph,
+        spec=spec,
+        freq=freq,
+        config=config,
+        planner_backend=planner_backend,
+        sim_backend=sim_backend,
+        workers=workers,
+        measure=measure,
+        timeout_s=None if timeout_s is None else float(timeout_s),
+        echo=echo,
+    )
+
+
+def _config_echo(config: KTilerConfig) -> Dict[str, Any]:
+    echo = asdict(config)
+    echo["grid_fractions"] = list(echo["grid_fractions"])
+    return echo
+
+
+def plan_fingerprint(request: PlanRequest, key_for) -> str:
+    """The request's identity: exactly the plan artifact-store key.
+
+    ``key_for`` is an artifact store's :meth:`key_for` (NULL_STORE's
+    works too — all stores hash identically), so a serve fingerprint
+    IS the key under which ``KTiler.plan`` persists the result: warm
+    store entries written by CLI runs are served without planning.
+    """
+    return key_for(
+        plan_key(
+            request.graph,
+            request.spec,
+            request.config,
+            request.freq,
+            planner_backend=request.planner_backend,
+        )
+    )
+
+
+def plan_digest(schedule, graph: KernelGraph) -> str:
+    """Content key of the schedule's wire form — the bit-identity unit."""
+    from repro.core.serialize import schedule_to_dict
+
+    return content_key(schedule_to_dict(schedule, graph))

@@ -65,6 +65,129 @@ class TestParser:
         ])
         assert args.k_sigma == 4.5 and args.rel_tol == 0.1 and args.strict
 
+    def test_serve_registered_with_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1" and args.port == 8750
+        assert args.timeout_s == 300.0 and args.max_body_kb == 1024
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--planner-backend", "fast",
+             "--cache-dir", "/tmp/c", "--timeout-s", "5"]
+        )
+        assert args.port == 0 and args.planner_backend == "fast"
+        assert args.cache_dir == "/tmp/c" and args.timeout_s == 5.0
+
+    def test_client_registered_and_action_validated(self):
+        args = build_parser().parse_args(
+            ["client", "plan", "--preset", "fig5", "--measure",
+             "--gpu-mhz", "549"]
+        )
+        assert args.command == "client" and args.action == "plan"
+        assert args.preset == "fig5" and args.measure
+        assert args.gpu_mhz == 549.0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["client", "teleport"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["client", "plan", "--preset", "nope"])
+
+    def test_client_gpu_base_validated(self):
+        args = build_parser().parse_args(
+            ["client", "plan", "--gpu-base", "embedded"]
+        )
+        assert args.gpu_base == "embedded"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["client", "plan", "--gpu-base", "tpu"])
+
+    def test_loadgen_registered_with_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.command == "loadgen"
+        assert args.url is None and args.preset == "demo"
+        assert args.clients == 4 and args.requests == 25
+        assert args.distinct == 1 and args.seed == 0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--preset", "nope"])
+
+
+class TestClientRequestBody:
+    """The client builds sparse bodies: server defaults stay server-side
+    so its fingerprints match any other client's."""
+
+    def _args(self, extra):
+        return build_parser().parse_args(["client", "plan"] + extra)
+
+    def test_minimal_body(self):
+        from repro.cli import _client_request_body
+
+        body = _client_request_body(self._args([]))
+        assert body == {"app": {"preset": "demo"}}
+
+    def test_full_body(self):
+        from repro.cli import _client_request_body
+
+        body = _client_request_body(self._args([
+            "--preset", "fig5", "--size", "128", "--levels", "2",
+            "--iters", "10", "--gpu-base", "paper", "--l2-kb", "512",
+            "--gpu-mhz", "549", "--mem-mhz", "2505",
+            "--sim-backend", "fast", "--planner-backend", "fast",
+            "--workers", "2", "--measure", "--timeout-s", "30",
+        ]))
+        assert body == {
+            "app": {"preset": "fig5", "size": 128, "levels": 2, "iters": 10},
+            "gpu": {"base": "paper", "l2_kb": 512},
+            "freq": {"gpu_mhz": 549.0, "mem_mhz": 2505.0},
+            "sim_backend": "fast",
+            "planner_backend": "fast",
+            "workers": 2,
+            "measure": True,
+            "timeout_s": 30.0,
+        }
+
+
+class TestServeExecution:
+    def test_loadgen_cli_writes_bench_document(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.obs.bench import validate_bench
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "loadgen", "--preset", "demo", "--clients", "2",
+            "--requests", "3", "--json", "out.json",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "req/s" in out and "wrote out.json" in out
+        with open(tmp_path / "out.json") as fh:
+            doc = validate_bench(json.load(fh))
+        assert doc["loadgen"]["requests"] == 6
+
+    def test_client_against_live_daemon(self, capsys, tmp_path, monkeypatch):
+        from repro.serve.server import start_server
+        from repro.serve.service import PlanService
+
+        monkeypatch.chdir(tmp_path)
+        with start_server(PlanService()) as handle:
+            code = main([
+                "client", "plan", "--url", handle.url, "--preset", "demo",
+                "--json", "plan.json",
+            ])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "plan demo:" in out and "plan_digest" in out
+            assert (tmp_path / "plan.json").exists()
+            assert main(["client", "health", "--url", handle.url]) == 0
+            assert main(["client", "metrics", "--url", handle.url]) == 0
+            metrics_out = capsys.readouterr().out
+            assert "serve_requests" in metrics_out
+
+    def test_client_unreachable_daemon_fails_cleanly(self, capsys):
+        code = main([
+            "client", "health", "--url", "http://127.0.0.1:1",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
 
 class TestExecution:
     def test_fig4_runs(self, capsys):

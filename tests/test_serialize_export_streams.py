@@ -167,3 +167,76 @@ class TestStreams:
             for g in (0.0, 0.5, 1.0, 2.0, 8.0)
         ]
         assert exposed == sorted(exposed)
+
+
+class TestWireFormat:
+    """The serve JSON wire format round-trips schedules and timings.
+
+    ``schedule_to_dict`` output must survive an actual JSON encode →
+    decode (the daemon's response body) and deserialize to a schedule
+    that re-encodes verbatim — plain ints only, no numpy scalars, no
+    tuple/list drift.  Ditto ``StreamedMeasurement.as_dict``.
+    """
+
+    @pytest.fixture(scope="class")
+    def plan_and_graph(self):
+        app = build_pipeline(size=256)
+        ktiler = KTiler(app.graph, config=KTilerConfig(launch_overhead_us=2.0))
+        return ktiler.plan(NOMINAL), app.graph
+
+    def test_schedule_roundtrips_through_json_text(self, plan_and_graph):
+        plan, graph = plan_and_graph
+        payload = schedule_to_dict(plan.schedule, graph)
+        over_the_wire = json.loads(json.dumps(payload))
+        assert over_the_wire == payload
+        loaded = schedule_from_dict(over_the_wire, graph)
+        assert schedule_to_dict(loaded, graph) == payload
+        for sub in loaded:
+            assert all(type(b) is int for b in sub.blocks)
+
+    def test_wire_schedule_replays_identically(self, plan_and_graph):
+        """Tallies (hence timing) survive the wire, not just structure."""
+        plan, graph = plan_and_graph
+        spec = GpuSpec()
+        wire = json.loads(json.dumps(schedule_to_dict(plan.schedule, graph)))
+        loaded = schedule_from_dict(wire, graph)
+        original = tally_schedule(plan.schedule, graph, spec)
+        replayed = tally_schedule(loaded, graph, spec)
+        assert replayed.labels == original.labels
+        assert replayed.hit_rate == original.hit_rate
+        streamed_a = measure_with_streams(original, spec, NOMINAL, 2.0)
+        streamed_b = measure_with_streams(replayed, spec, NOMINAL, 2.0)
+        assert streamed_a == streamed_b
+
+    def test_streamed_measurement_roundtrips_through_json(self, plan_and_graph):
+        from repro.runtime.streams import StreamedMeasurement
+
+        plan, graph = plan_and_graph
+        spec = GpuSpec()
+        tallies = tally_schedule(plan.schedule, graph, spec)
+        streamed = measure_with_streams(tallies, spec, NOMINAL, 2.0)
+        wire = json.loads(json.dumps(streamed.as_dict()))
+        assert StreamedMeasurement.from_dict(wire) == streamed
+        # Derived views on the wire match the dataclass properties.
+        assert wire["total_us"] == pytest.approx(streamed.total_us)
+        assert wire["hidden_gap_fraction"] == pytest.approx(
+            streamed.hidden_gap_fraction
+        )
+
+    def test_serve_response_timing_is_wire_consistent(self):
+        """The daemon's measure=True timing equals a local replay."""
+        from repro.serve.client import ServeClient
+        from repro.serve.server import start_server
+        from repro.serve.service import PlanService
+        from repro.serve.wire import parse_plan_request
+
+        body = {"app": {"preset": "demo"}, "measure": True}
+        with start_server(PlanService()) as handle:
+            response = ServeClient(handle.url).plan(body)
+        request = parse_plan_request(body)
+        schedule = schedule_from_dict(response["schedule"], request.graph)
+        tallies = tally_schedule(schedule, request.graph, request.spec)
+        local = measure_with_streams(tallies, request.spec, request.freq)
+        assert response["timing"]["streamed"] == json.loads(
+            json.dumps(local.as_dict())
+        )

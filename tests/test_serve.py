@@ -1,0 +1,293 @@
+"""Black-box integration suite for the ``ktiler serve`` daemon.
+
+Everything here talks to a real daemon over real HTTP (ephemeral port,
+stdlib urllib) — never to :class:`PlanService` directly — so the wire
+format, routing, Content-Length discipline, and error mapping are what
+is exercised.  The core contract: a plan served over the wire is
+byte-identical (same plan digest, same schedule document) to
+``KTiler.plan`` called in-process on the same request.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.server import start_server
+from repro.serve.service import PlanService
+from repro.serve.wire import parse_plan_request, plan_digest, plan_fingerprint
+from repro.store.store import NULL_STORE
+
+
+def make_daemon(**service_kwargs):
+    """A fresh daemon on an ephemeral port; caller closes the handle."""
+    service = PlanService(**service_kwargs)
+    return start_server(service)
+
+
+@pytest.fixture()
+def daemon():
+    handle = make_daemon()
+    yield handle
+    handle.close()
+
+
+@pytest.fixture()
+def client(daemon):
+    return ServeClient(daemon.url)
+
+
+DEMO = {"app": {"preset": "demo"}}
+
+
+class TestPlanEndpoint:
+    def test_plan_digest_matches_in_process_ktiler(self, client):
+        """The bit-identity contract, end to end over the wire."""
+        from repro.core.ktiler import KTiler
+        from repro.core.serialize import schedule_to_dict
+
+        response = client.plan(DEMO)
+        request = parse_plan_request(DEMO)
+        ktiler = KTiler(
+            request.graph,
+            spec=request.spec,
+            config=request.config,
+            backend=request.sim_backend,
+            planner_backend=request.planner_backend,
+        )
+        plan = ktiler.plan(request.freq)
+        assert response["fingerprint"] == plan_fingerprint(
+            request, NULL_STORE.key_for
+        )
+        assert response["plan_digest"] == plan_digest(plan.schedule, request.graph)
+        assert response["schedule"] == schedule_to_dict(plan.schedule, request.graph)
+        assert response["estimated_cost_us"] == pytest.approx(
+            plan.estimated_cost_us
+        )
+
+    def test_response_schedule_deserializes_to_the_digested_schedule(
+        self, client
+    ):
+        from repro.core.serialize import schedule_from_dict
+
+        response = client.plan(DEMO)
+        request = parse_plan_request(DEMO)
+        schedule = schedule_from_dict(response["schedule"], request.graph)
+        assert plan_digest(schedule, request.graph) == response["plan_digest"]
+
+    def test_second_identical_request_is_a_memo_hit(self, daemon, client):
+        first = client.plan(DEMO)
+        second = client.plan(DEMO)
+        assert first["served"] == "planned"
+        assert second["served"] == "memo"
+        assert second["plan_digest"] == first["plan_digest"]
+        assert second["schedule"] == first["schedule"]
+        metrics = daemon.service.tracer.metrics
+        assert metrics.total("serve.plans") == 1
+        assert metrics.total("serve.memo_hits") == 1
+
+    def test_measure_returns_blocking_and_streamed_timing(self, client):
+        response = client.plan({"app": {"preset": "demo"}, "measure": True})
+        timing = response["timing"]
+        blocking, streamed = timing["blocking"], timing["streamed"]
+        assert blocking["num_launches"] == streamed["num_launches"]
+        assert blocking["busy_us"] == pytest.approx(streamed["busy_us"])
+        # Pipelined submission never beats pure busy time and never
+        # loses to blocking submission.
+        assert streamed["busy_us"] <= streamed["total_us"] <= blocking["total_us"]
+
+    def test_sim_backend_does_not_change_fingerprint_or_digest(self, client):
+        reference = client.plan({**DEMO, "sim_backend": "reference"})
+        fast = client.plan({**DEMO, "sim_backend": "fast"})
+        assert reference["fingerprint"] == fast["fingerprint"]
+        assert reference["plan_digest"] == fast["plan_digest"]
+
+    def test_distinct_frequencies_get_distinct_fingerprints(self, client):
+        nominal = client.plan(DEMO)
+        lowered = client.plan(
+            {**DEMO, "freq": {"gpu_mhz": 549.0, "mem_mhz": 5010.0}}
+        )
+        assert nominal["fingerprint"] != lowered["fingerprint"]
+
+
+class TestWarmStore:
+    def test_restarted_daemon_reuses_the_artifact_store(self, tmp_path):
+        from repro.store.store import ArtifactStore
+
+        first = make_daemon(store=ArtifactStore(tmp_path / "cache"))
+        try:
+            cold = ServeClient(first.url).plan(DEMO)
+        finally:
+            first.close()
+        assert cold["served"] == "planned"
+
+        second = make_daemon(store=ArtifactStore(tmp_path / "cache"))
+        try:
+            warm = ServeClient(second.url).plan(DEMO)
+            metrics = second.service.tracer.metrics
+            # A fresh daemon has no memo, so the request runs a planning
+            # job — which is answered by the store, not replanned.
+            assert warm["served"] == "planned"
+            assert metrics.total("store.hits") >= 1
+        finally:
+            second.close()
+        assert warm["plan_digest"] == cold["plan_digest"]
+        assert warm["schedule"] == cold["schedule"]
+        assert warm["stats"] == cold["stats"]
+
+
+class TestErrorHandling:
+    def test_malformed_json_is_a_structured_400(self, daemon):
+        conn = http.client.HTTPConnection(daemon.host, daemon.port, timeout=10)
+        try:
+            conn.request(
+                "POST",
+                "/v1/plan",
+                body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert payload["error"]["code"] == "bad_json"
+        assert "message" in payload["error"]
+
+    def test_oversized_body_is_a_structured_413(self, tmp_path):
+        handle = make_daemon(max_body_bytes=512)
+        try:
+            client = ServeClient(handle.url)
+            with pytest.raises(ServeClientError) as err:
+                client.plan({"app": {"preset": "demo"}, "gpu": {}, "config": {},
+                             "freq": {}, "workers": 1,
+                             "planner_backend": "x" * 600})
+            assert err.value.status == 413
+            assert err.value.code == "body_too_large"
+        finally:
+            handle.close()
+
+    def test_missing_content_length_is_411(self, daemon):
+        conn = http.client.HTTPConnection(daemon.host, daemon.port, timeout=10)
+        try:
+            conn.putrequest("POST", "/v1/plan")
+            conn.putheader("Content-Type", "application/json")
+            conn.endheaders()
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 411
+        assert payload["error"]["code"] == "length_required"
+
+    def test_unknown_preset_is_a_structured_400(self, client):
+        with pytest.raises(ServeClientError) as err:
+            client.plan({"app": {"preset": "no-such-app"}})
+        assert err.value.status == 400
+        assert err.value.code == "unknown_preset"
+        assert "no-such-app" in str(err.value)
+
+    def test_unknown_gpu_field_is_a_structured_400(self, client):
+        with pytest.raises(ServeClientError) as err:
+            client.plan({"app": {"preset": "demo"},
+                         "gpu": {"warp_drive": True}})
+        assert err.value.status == 400
+        assert err.value.code == "unknown_gpu"
+
+    def test_unknown_gpu_base_is_a_structured_400(self, client):
+        with pytest.raises(ServeClientError) as err:
+            client.plan({"gpu": {"base": "tpu"}})
+        assert err.value.status == 400
+        assert err.value.code == "unknown_gpu"
+
+    def test_invalid_gpu_value_is_a_structured_400(self, client):
+        with pytest.raises(ServeClientError) as err:
+            client.plan({"gpu": {"l2_bytes": -1}})
+        assert err.value.status == 400
+        assert err.value.code == "bad_value"
+
+    def test_unknown_top_level_field_is_a_structured_400(self, client):
+        with pytest.raises(ServeClientError) as err:
+            client.plan({"schedule_me": "please"})
+        assert err.value.status == 400
+        assert err.value.code == "bad_request"
+
+    def test_unknown_route_is_a_structured_404(self, client):
+        with pytest.raises(ServeClientError) as err:
+            client._request("POST", "/v2/plan", {})
+        assert err.value.status == 404
+        assert err.value.code == "not_found"
+
+    def test_errors_are_counted(self, daemon, client):
+        with pytest.raises(ServeClientError):
+            client.plan({"app": {"preset": "no-such-app"}})
+        metrics = daemon.service.tracer.metrics
+        assert metrics.total("serve.errors", code="unknown_preset") == 1
+        assert metrics.total("serve.requests", endpoint="plan", status="400") == 1
+
+
+class TestTimeout:
+    def test_timeout_is_a_structured_504_and_the_job_still_lands(self):
+        # A ceiling no cold plan can beat; the memo path checks before
+        # the single-flight wait, so a retry succeeds once the job lands.
+        handle = make_daemon(timeout_s=1e-4)
+        try:
+            client = ServeClient(handle.url)
+            with pytest.raises(ServeClientError) as err:
+                client.plan(DEMO)
+            assert err.value.status == 504
+            assert err.value.code == "timeout"
+            deadline = time.perf_counter() + 60
+            while time.perf_counter() < deadline:
+                try:
+                    response = client.plan(DEMO)
+                    break
+                except ServeClientError as exc:
+                    assert exc.status == 504
+                    time.sleep(0.05)
+            else:
+                pytest.fail("abandoned planning job never landed in the memo")
+            assert response["served"] == "memo"
+            assert handle.service.tracer.metrics.total("serve.plans") == 1
+        finally:
+            handle.close()
+
+
+class TestIntrospection:
+    def test_healthz_is_well_formed(self, client):
+        client.plan(DEMO)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["uptime_s"] >= 0
+        assert health["inflight"] == 0
+        assert health["memo_entries"] == 1
+        assert health["counters"]["serve.plans"] == 1
+        assert health["counters"]["serve.requests"] >= 1
+
+    def test_metrics_is_well_formed_prometheus(self, client):
+        client.plan(DEMO)
+        text = client.metrics()
+        families = set()
+        for line in text.splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                families.add(line.split()[2])
+                continue
+            # sample lines: name{labels} value  |  name value
+            name = line.split("{")[0].split(" ")[0]
+            float(line.rsplit(" ", 1)[1])
+            assert name in families, f"sample {line!r} lacks HELP/TYPE"
+        assert "serve_requests" in families
+        assert "serve_plans" in families
+        assert "serve_inflight" in families
+
+    def test_explain_returns_a_valid_audit(self, client):
+        from repro.obs.audit import validate_audit
+
+        response = client.explain(DEMO)
+        assert response["kind"] == "explain"
+        validate_audit(response["audit"])
+        assert response["audit"]["preset"] == "demo"
