@@ -729,10 +729,14 @@ def _add_bench_compare_knobs(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.slog import open_slog
     from repro.serve.server import run_forever
     from repro.serve.service import PlanService
 
-    tracer = Tracer()  # /metrics always exports; tracing costs little here
+    # /metrics always exports; tracing costs little here.  The event
+    # ring is bounded so a long-lived daemon cannot grow without limit.
+    tracer = Tracer(max_events=8192)
+    slog = None if args.no_request_log else open_slog(args.request_log)
     service = PlanService(
         tracer=tracer,
         store=_store(args, tracer),
@@ -742,6 +746,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         timeout_s=args.timeout_s,
         max_body_bytes=args.max_body_kb * 1024,
         planner_threads=args.planner_threads,
+        slog=slog,
+        tracez_capacity=args.tracez_capacity,
+        slow_ms=args.slow_ms,
     )
     return run_forever(
         service, host=args.host, port=args.port, verbose=args.verbose
@@ -789,7 +796,7 @@ def _client_request_body(args: argparse.Namespace) -> dict:
 def _cmd_client(args: argparse.Namespace) -> int:
     from repro.serve.client import ServeClient, ServeClientError
 
-    client = ServeClient(args.url)
+    client = ServeClient(args.url, request_id=args.request_id)
     try:
         if args.action == "health":
             result = client.health()
@@ -797,6 +804,15 @@ def _cmd_client(args: argparse.Namespace) -> int:
         elif args.action == "metrics":
             print(client.metrics(), end="")
             result = None
+        elif args.action == "statusz":
+            print(client.statusz(), end="")
+            result = None
+        elif args.action == "vars":
+            result = client.debug_vars()
+            print(json.dumps(result, indent=1, sort_keys=True))
+        elif args.action == "tracez":
+            result = client.debug_tracez()
+            print(json.dumps(result, indent=1, sort_keys=True))
         else:
             body = _client_request_body(args)
             if args.action == "plan":
@@ -821,6 +837,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
                     f"in {result['elapsed_ms']:.1f}ms"
                 )
                 print(f"fingerprint {result['fingerprint']}")
+            if result.get("request_id"):
+                print(f"request_id {result['request_id']}")
     except ServeClientError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -868,7 +886,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
-SERVE_CLIENT_ACTIONS = ("plan", "explain", "health", "metrics")
+SERVE_CLIENT_ACTIONS = (
+    "plan", "explain", "health", "metrics", "statusz", "vars", "tracez",
+)
 LOADGEN_PRESETS = PROFILE_PRESETS
 
 
@@ -1091,6 +1111,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="concurrent planning jobs (distinct fingerprints)")
     p.add_argument("--verbose", action="store_true",
                    help="log every HTTP request to stderr")
+    p.add_argument("--request-log", metavar="PATH", default="-",
+                   help="structured JSON request log destination "
+                        "('-' = stderr; otherwise appended to PATH)")
+    p.add_argument("--no-request-log", action="store_true",
+                   help="disable the structured request log")
+    p.add_argument("--slow-ms", type=float, default=250.0, metavar="MS",
+                   help="requests at or above this latency land in the "
+                        "/debug/tracez slow ring")
+    p.add_argument("--tracez-capacity", type=int, default=64, metavar="N",
+                   help="exemplars kept per /debug/tracez ring "
+                        "(recent/slow/errors)")
     _add_common(p)
     p.set_defaults(func=_cmd_serve)
 
@@ -1128,6 +1159,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "daemon")
     p.add_argument("--json", metavar="PATH", default=None,
                    help="also write the full response JSON")
+    p.add_argument("--request-id", default=None, metavar="ID",
+                   help="X-Request-Id to send (default: the daemon "
+                        "mints one and echoes it back)")
     _add_common(p)
     p.set_defaults(func=_cmd_client)
 

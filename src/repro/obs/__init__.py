@@ -19,6 +19,11 @@ The subsystem has four pieces:
   environment fingerprints, an append-only history trajectory, a
   noise-aware regression detector, and a self-contained HTML
   dashboard;
+* :mod:`repro.obs.histogram` / :mod:`repro.obs.ops` /
+  :mod:`repro.obs.slog` — request-scoped serve telemetry: mergeable
+  log-bucket latency histograms, contextvar request propagation with
+  tracez exemplar rings and the ``/statusz`` renderer, and the
+  schema-versioned structured request log;
 * :mod:`repro.obs.profile` — the planner observatory behind
   ``ktiler profile``: span-scoped flamegraph capture
   (:class:`StackProfiler`), schema-versioned profile documents with
@@ -48,6 +53,30 @@ from repro.obs.report import (
     write_metrics,
 )
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.histogram import (
+    DEFAULT_LATENCY_BOUNDS_S,
+    LogHistogram,
+    merge_histograms,
+)
+from repro.obs.ops import (
+    RequestContext,
+    TraceBuffer,
+    build_span_tree,
+    current_context,
+    current_request_id,
+    new_request_id,
+    render_statusz,
+    request_context,
+    use_context,
+)
+from repro.obs.slog import (
+    SLOG_KIND,
+    SLOG_SCHEMA_VERSION,
+    SlogWriter,
+    make_record,
+    open_slog,
+    validate_slog,
+)
 from repro.obs.bench import (
     BENCH_SCHEMA_VERSION,
     PHASES,
@@ -118,6 +147,24 @@ __all__ = [
     "metrics_to_json",
     "metrics_to_prometheus",
     "write_metrics",
+    "DEFAULT_LATENCY_BOUNDS_S",
+    "LogHistogram",
+    "merge_histograms",
+    "RequestContext",
+    "TraceBuffer",
+    "build_span_tree",
+    "current_context",
+    "current_request_id",
+    "new_request_id",
+    "render_statusz",
+    "request_context",
+    "use_context",
+    "SLOG_KIND",
+    "SLOG_SCHEMA_VERSION",
+    "SlogWriter",
+    "make_record",
+    "open_slog",
+    "validate_slog",
     "AUDIT_SCHEMA_VERSION",
     "MISS_CLASSES",
     "EdgeAudit",

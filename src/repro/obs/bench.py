@@ -55,7 +55,12 @@ from repro.obs.tracer import Tracer
 from repro.store.fingerprint import content_key
 
 #: Version stamp of every bench-run document and history line.
-BENCH_SCHEMA_VERSION = 1
+#: v2 adds the loadgen outcome decomposition + latency histograms;
+#: v1 documents (committed baselines, old history lines) stay valid.
+BENCH_SCHEMA_VERSION = 2
+
+#: Schema versions :func:`validate_bench` accepts on read.
+SUPPORTED_BENCH_SCHEMAS = (1, 2)
 
 #: Pipeline phases, in pipeline order.  ``other`` absorbs spans with no
 #: mapping and the un-spanned remainder of the wall time.
@@ -636,8 +641,8 @@ def validate_bench(doc: dict) -> dict:
     """
     _require(isinstance(doc, dict), "document is not an object")
     _require(
-        doc.get("schema_version") == BENCH_SCHEMA_VERSION,
-        f"schema_version != {BENCH_SCHEMA_VERSION}",
+        doc.get("schema_version") in SUPPORTED_BENCH_SCHEMAS,
+        f"schema_version not in {SUPPORTED_BENCH_SCHEMAS}",
     )
     _require(doc.get("kind") == "bench-run", "kind != 'bench-run'")
     env = doc.get("environment")
@@ -687,7 +692,41 @@ def validate_bench(doc: dict) -> dict:
                 )
     names = [b["name"] for b in benchmarks]
     _require(len(names) == len(set(names)), "duplicate benchmark names")
+    loadgen = doc.get("loadgen")
+    if loadgen is not None and doc["schema_version"] >= 2:
+        _validate_loadgen_block(loadgen)
     return doc
+
+
+def _validate_loadgen_block(loadgen: object) -> None:
+    """v2 loadgen extras: outcome decomposition + latency histograms."""
+    from repro.obs.histogram import LogHistogram
+
+    _require(isinstance(loadgen, dict), "'loadgen' is not an object")
+    outcomes = loadgen.get("outcomes")
+    _require(isinstance(outcomes, dict), "loadgen missing 'outcomes'")
+    for tag, count in outcomes.items():
+        _require(
+            isinstance(count, int) and count >= 0,
+            f"loadgen.outcomes[{tag}] is not a non-negative int",
+        )
+    _require(
+        sum(outcomes.values()) == loadgen.get("requests"),
+        "loadgen.outcomes do not sum to 'requests'",
+    )
+    for key in ("latency_histogram", "server_histogram"):
+        payload = loadgen.get(key)
+        if payload is None:
+            continue
+        try:
+            hist = LogHistogram.from_dict(payload)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ValueError(f"loadgen.{key} malformed: {exc}") from exc
+        if key == "latency_histogram":
+            _require(
+                hist.count == loadgen.get("requests"),
+                f"loadgen.{key} count != 'requests'",
+            )
 
 
 # ----------------------------------------------------------------------

@@ -43,6 +43,9 @@ th { background: #f2f2f2; } td.name, th.name { text-align: left; }
            border-radius: 4px; padding: 0.4em 0.8em; margin: 0.5em 0; }
 .ok { color: #2e7d32; } .neg { color: #b00; }
 svg.spark { vertical-align: middle; }
+.heatstrip { display: flex; gap: 1px; margin: 0.3em 0; }
+.heat { display: inline-block; width: 14px; height: 18px;
+        border-radius: 2px; border: 1px solid #e3e7ee; }
 """
 
 #: One stable color per pipeline phase (keyed by PHASES order).
@@ -55,6 +58,67 @@ _PHASE_COLORS = {
     "replay": "#46b8c8",
     "other": "#b0b0b0",
 }
+
+
+def _histogram_strip(payload: dict) -> str:
+    """A heat strip + quantile line for one serialized LogHistogram."""
+    from repro.obs.histogram import LogHistogram
+
+    try:
+        hist = LogHistogram.from_dict(payload)
+    except (KeyError, ValueError, TypeError):
+        return "<span class='summary'>(histogram malformed)</span>"
+    if hist.count == 0:
+        return "<span class='summary'>(no samples)</span>"
+    snap = hist.snapshot()
+    buckets = snap["buckets"]
+    peak = max(int(b["count"]) for b in buckets) or 1
+    cells = []
+    for bucket in buckets:
+        count = int(bucket["count"])
+        alpha = 0.08 + 0.92 * (count / peak) if count else 0.04
+        title = html.escape(f"le {bucket['le']} s: {count}")
+        cells.append(
+            f"<span class='heat' title='{title}' "
+            f"style='background:rgba(31,119,180,{alpha:.3f})'></span>"
+        )
+    q_text = "  ".join(
+        f"{name}={1e3 * float(value):.2f} ms"
+        for name, value in sorted(snap.get("quantiles", {}).items())
+    )
+    return (
+        "<div class='heatstrip'>" + "".join(cells) + "</div>"
+        f"<span class='summary'>{hist.count} samples &middot; "
+        f"{html.escape(q_text)}</span>"
+    )
+
+
+def _loadgen_section(loadgen: dict) -> List[str]:
+    """Outcome decomposition + latency distributions for a loadgen doc."""
+    esc = html.escape
+    parts = ["<div class='card'><h2>Load generator</h2>"]
+    total = int(loadgen.get("requests", 0)) or 1
+    outcomes = loadgen.get("outcomes") or {}
+    if outcomes:
+        parts.append(
+            "<p class='summary'>outcomes: "
+            + " &middot; ".join(
+                f"<b>{esc(tag)}</b> {int(count)} "
+                f"({100.0 * int(count) / total:.1f}%)"
+                for tag, count in sorted(outcomes.items())
+            )
+            + "</p>"
+        )
+    for key, label in (
+        ("latency_histogram", "client-observed latency"),
+        ("server_histogram", "server-reported latency (warm-up included)"),
+    ):
+        payload = loadgen.get(key)
+        if payload:
+            parts.append(f"<h3>{esc(label)}</h3>")
+            parts.append(_histogram_strip(payload))
+    parts.append("</div>")
+    return parts
 
 
 def _sparkline(
@@ -249,6 +313,9 @@ def render_bench_html(
                 f"<td class='name'>{verdict}</td></tr>"
             )
         parts.append("</table>")
+    loadgen = doc.get("loadgen")
+    if loadgen:
+        parts.extend(_loadgen_section(loadgen))
     parts.append("</body></html>")
     return "".join(parts)
 

@@ -6,19 +6,28 @@ by a label set (``cache.hits{kernel=jacobi,subkernel=3}``).  The
 registry is the metrics backend of :class:`repro.obs.tracer.Tracer`
 and the input of the exporters in :mod:`repro.obs.report`.
 
-Two metric kinds exist, mirroring Prometheus semantics:
+Three metric kinds exist, mirroring Prometheus semantics:
 
 * **counter** — monotone accumulator, updated with :meth:`inc`;
-* **gauge** — last-write-wins value, updated with :meth:`set_gauge`.
+* **gauge** — last-write-wins value, updated with :meth:`set_gauge`;
+* **histogram** — a mergeable log-bucket distribution
+  (:class:`repro.obs.histogram.LogHistogram`), updated with
+  :meth:`observe`.
 
 Aggregation across labels is a read-side operation (:meth:`total`), so
 the write path stays a single dict update — it runs once per simulated
-launch on the replay hot path.
+launch on the replay hot path.  When a request context is active
+(:mod:`repro.obs.ops`), :meth:`inc` additionally notes the delta on
+the context, so per-request counter attribution rides the existing
+write path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.histogram import LogHistogram, merge_histograms
+from repro.obs.ops import current_context
 
 #: A label set, normalized to a sorted tuple of (key, value) pairs.
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -35,6 +44,7 @@ class CounterRegistry:
 
     def __init__(self) -> None:
         self._samples: Dict[str, Dict[LabelKey, float]] = {}
+        self._hists: Dict[str, Dict[LabelKey, LogHistogram]] = {}
         self._kinds: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
@@ -48,6 +58,21 @@ class CounterRegistry:
             self._kinds[name] = "counter"
         key = _label_key(labels)
         family[key] = family.get(key, 0.0) + value
+        ctx = current_context()
+        if ctx is not None:
+            ctx.note_counter(name, value)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record ``value`` into the histogram sample ``name{labels}``."""
+        family = self._hists.get(name)
+        if family is None:
+            family = self._hists[name] = {}
+            self._kinds[name] = "histogram"
+        key = _label_key(labels)
+        hist = family.get(key)
+        if hist is None:
+            hist = family[key] = LogHistogram()
+        hist.observe(value)
 
     def set_gauge(self, name: str, value: float, **labels: object) -> None:
         """Set the gauge sample ``name{labels}`` to ``value``."""
@@ -59,6 +84,7 @@ class CounterRegistry:
 
     def clear(self) -> None:
         self._samples.clear()
+        self._hists.clear()
         self._kinds.clear()
 
     # ------------------------------------------------------------------
@@ -66,10 +92,10 @@ class CounterRegistry:
     # ------------------------------------------------------------------
     def names(self) -> List[str]:
         """All metric names, sorted."""
-        return sorted(self._samples)
+        return sorted(set(self._samples) | set(self._hists))
 
     def kind(self, name: str) -> str:
-        """``"counter"`` or ``"gauge"``."""
+        """``"counter"``, ``"gauge"`` or ``"histogram"``."""
         return self._kinds.get(name, "counter")
 
     def get(self, name: str, **labels: object) -> float:
@@ -86,6 +112,9 @@ class CounterRegistry:
         ``total("cache.hits", kernel="jacobi")`` over all samples
         carrying that kernel label (any sub-kernel, any other labels).
         """
+        if name in self._hists:
+            merged = self.merged_histogram(name, **labels)
+            return 0.0 if merged is None else float(merged.count)
         family = self._samples.get(name)
         if not family:
             return 0.0
@@ -104,28 +133,63 @@ class CounterRegistry:
         family = self._samples.get(name, {})
         return [(dict(key), value) for key, value in sorted(family.items())]
 
+    def histograms(self, name: str) -> List[Tuple[Dict[str, str], LogHistogram]]:
+        """All ``(labels, histogram)`` samples of a family, label-sorted."""
+        family = self._hists.get(name, {})
+        return [(dict(key), hist) for key, hist in sorted(family.items())]
+
+    def histogram(self, name: str, **labels: object) -> Optional[LogHistogram]:
+        """The histogram with exactly these labels, or ``None``."""
+        family = self._hists.get(name)
+        if not family:
+            return None
+        return family.get(_label_key(labels))
+
+    def merged_histogram(
+        self, name: str, **labels: object
+    ) -> Optional[LogHistogram]:
+        """Merge every histogram of ``name`` whose labels include
+        ``labels`` (e.g. all outcomes of one endpoint)."""
+        family = self._hists.get(name)
+        if not family:
+            return None
+        want = dict(_label_key(labels))
+        matching = [
+            hist
+            for key, hist in sorted(family.items())
+            if all(dict(key).get(k) == v for k, v in want.items())
+        ]
+        return merge_histograms(matching)
+
     def as_dict(self) -> Dict[str, dict]:
-        """JSON-ready view: name -> {kind, samples: [{labels, value}]}."""
-        return {
-            name: {
-                "kind": self.kind(name),
-                "samples": [
+        """JSON-ready view: name -> {kind, samples: [...]}; counter and
+        gauge samples carry a value, histogram samples a snapshot."""
+        out: Dict[str, dict] = {}
+        for name in self.names():
+            kind = self.kind(name)
+            if kind == "histogram":
+                samples = [
+                    {"labels": labels, "histogram": hist.snapshot()}
+                    for labels, hist in self.histograms(name)
+                ]
+            else:
+                samples = [
                     {"labels": labels, "value": value}
                     for labels, value in self.samples(name)
-                ],
-            }
-            for name in self.names()
-        }
+                ]
+            out[name] = {"kind": kind, "samples": samples}
+        return out
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return len(set(self._samples) | set(self._hists))
 
     def __contains__(self, name: str) -> bool:
-        return name in self._samples
+        return name in self._samples or name in self._hists
 
     def __repr__(self) -> str:
         n_samples = sum(len(f) for f in self._samples.values())
-        return f"CounterRegistry({len(self._samples)} metrics, {n_samples} samples)"
+        n_samples += sum(len(f) for f in self._hists.values())
+        return f"CounterRegistry({len(self)} metrics, {n_samples} samples)"
 
 
 class NullRegistry:
@@ -142,6 +206,9 @@ class NullRegistry:
         pass
 
     def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
         pass
 
     def clear(self) -> None:
@@ -161,6 +228,17 @@ class NullRegistry:
 
     def samples(self, name: str) -> List[Tuple[Dict[str, str], float]]:
         return []
+
+    def histograms(self, name: str) -> List[Tuple[Dict[str, str], LogHistogram]]:
+        return []
+
+    def histogram(self, name: str, **labels: object) -> Optional[LogHistogram]:
+        return None
+
+    def merged_histogram(
+        self, name: str, **labels: object
+    ) -> Optional[LogHistogram]:
+        return None
 
     def as_dict(self) -> Dict[str, dict]:
         return {}

@@ -26,6 +26,15 @@ Warm vs cold: each distinct fingerprint is planned once (serially,
 untimed) before the clock starts, so the timed phase measures the
 service's warm path — memo hits, coalescing, HTTP — which is the
 steady state a deployed daemon lives in.
+
+Raw samples are no longer discarded into summary stats alone: the
+document carries the full client-side latency distribution as a
+mergeable :class:`~repro.obs.histogram.LogHistogram`, plus the
+server-reported one (built from each response's ``elapsed_ms``,
+warm-up included) whose bucket counts match the daemon's own
+``serve.latency`` Prometheus histogram exactly.  Each timed request's
+``served`` tag (planned / memo / coalesced) is tallied into
+``loadgen.outcomes`` so throughput decomposes.
 """
 
 from __future__ import annotations
@@ -34,7 +43,7 @@ import json
 import random
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -44,6 +53,10 @@ from repro.obs.bench import (
     environment_fingerprint,
     validate_bench,
 )
+from repro.obs.histogram import LogHistogram
+
+#: ``served`` tags a /v1/plan response can carry.
+OUTCOME_TAGS = ("planned", "memo", "coalesced")
 
 #: Frequency ladder the ``distinct`` knob walks to vary fingerprints
 #: without varying the graph: (gpu_mhz, mem_mhz) pairs.
@@ -100,15 +113,37 @@ def build_loadgen_doc(
     workers: Optional[int] = None,
     planner_backend: Optional[str] = None,
     created_unix: Optional[float] = None,
+    per_client_outcomes: Optional[List[List[str]]] = None,
+    server_elapsed_ms: Optional[List[float]] = None,
 ) -> dict:
     """Roll latencies up into a schema-valid bench document.
 
     Pure given its inputs (modulo ``created_unix`` defaulting to now),
     so the synthetic p99-step detector test drives it directly.
+
+    ``per_client_outcomes`` carries each timed request's ``served``
+    tag; omitted (offline/synthetic docs) every request counts as
+    ``planned``.  ``server_elapsed_ms`` is the flat list of
+    server-reported ``elapsed_ms`` values — warm-up requests included —
+    whose histogram matches the daemon's ``serve.latency`` buckets.
     """
     all_latencies = [lat for client in per_client_latencies for lat in client]
     if not all_latencies:
         raise ValueError("no latencies recorded")
+    if per_client_outcomes is None:
+        per_client_outcomes = [
+            ["planned"] * len(client) for client in per_client_latencies
+        ]
+    all_outcomes = [tag for client in per_client_outcomes for tag in client]
+    if len(all_outcomes) != len(all_latencies):
+        raise ValueError("outcomes and latencies disagree in length")
+    unknown_tags = set(all_outcomes) - set(OUTCOME_TAGS)
+    if unknown_tags:
+        raise ValueError(f"unknown outcome tags: {sorted(unknown_tags)}")
+    outcomes = {tag: all_outcomes.count(tag) for tag in OUTCOME_TAGS}
+    latency_histogram = LogHistogram()
+    for latency in all_latencies:
+        latency_histogram.observe(latency)
     client_p99s = [
         _percentile(client, 99.0) for client in per_client_latencies if client
     ]
@@ -167,8 +202,15 @@ def build_loadgen_doc(
             else 0.0,
             "p50_ms": round(_percentile(all_latencies, 50.0) * 1e3, 3),
             "p99_ms": round(_percentile(all_latencies, 99.0) * 1e3, 3),
+            "outcomes": outcomes,
+            "latency_histogram": latency_histogram.as_dict(),
         },
     }
+    if server_elapsed_ms is not None:
+        server_histogram = LogHistogram()
+        for elapsed_ms in server_elapsed_ms:
+            server_histogram.observe(elapsed_ms / 1e3)
+        doc["loadgen"]["server_histogram"] = server_histogram.as_dict()
     return validate_bench(doc)
 
 
@@ -216,13 +258,17 @@ def run_loadgen(
             f"[loadgen] warming {distinct} fingerprint(s) of preset "
             f"{preset!r} ..."
         )
+        server_elapsed_ms: List[float] = []
         for body in bodies:
-            client.plan(body)
+            warm_response = client.plan(body)
+            server_elapsed_ms.append(float(warm_response["elapsed_ms"]))
         emit(
             f"[loadgen] timed phase: {clients} client(s) x {requests} "
             "request(s)"
         )
         per_client_latencies: List[List[float]] = [[] for _ in range(clients)]
+        per_client_outcomes: List[List[str]] = [[] for _ in range(clients)]
+        per_client_elapsed: List[List[float]] = [[] for _ in range(clients)]
         errors: List[BaseException] = []
         barrier = threading.Barrier(clients + 1)
 
@@ -232,11 +278,17 @@ def run_loadgen(
             for variant in schedule[index]:
                 t0 = time.perf_counter()
                 try:
-                    worker_client.plan(bodies[variant])
+                    response = worker_client.plan(bodies[variant])
                 except BaseException as exc:  # surface, don't hang
                     errors.append(exc)
                     return
                 per_client_latencies[index].append(time.perf_counter() - t0)
+                per_client_outcomes[index].append(
+                    response.get("served", "planned")
+                )
+                per_client_elapsed[index].append(
+                    float(response.get("elapsed_ms", 0.0))
+                )
 
         threads = [
             threading.Thread(target=worker, args=(i,), name=f"loadgen-{i}")
@@ -257,6 +309,8 @@ def run_loadgen(
         if handle is not None:
             handle.close()
 
+    for client_elapsed in per_client_elapsed:
+        server_elapsed_ms.extend(client_elapsed)
     doc = build_loadgen_doc(
         preset=preset,
         per_client_latencies=per_client_latencies,
@@ -268,6 +322,8 @@ def run_loadgen(
         backend=sim_backend,
         workers=workers,
         planner_backend=planner_backend,
+        per_client_outcomes=per_client_outcomes,
+        server_elapsed_ms=server_elapsed_ms,
     )
     summary = doc["loadgen"]
     emit(
@@ -279,6 +335,11 @@ def run_loadgen(
             summary["p50_ms"],
             summary["p99_ms"],
         )
+    )
+    outcome_counts = summary["outcomes"]
+    emit(
+        "[loadgen] outcomes: "
+        + " ".join(f"{tag}={outcome_counts[tag]}" for tag in OUTCOME_TAGS)
     )
     return doc
 

@@ -83,6 +83,11 @@ METRIC_HELP: Dict[str, str] = {
     "serve.coalesced": "requests that joined an in-flight planning job",
     "serve.errors": "requests rejected with a structured error, by code",
     "serve.latency_ms": "summed request wall milliseconds, by endpoint",
+    "serve.latency": (
+        "request latency seconds, by endpoint and outcome"
+    ),
+    "serve.queue_wait": "planner-pool queue wait seconds",
+    "serve.telemetry_errors": "request-telemetry emission failures",
     "serve.inflight": "planning jobs currently in flight",
     "serve.memo_entries": "responses held in the in-process memo",
     "serve.uptime_s": "seconds since the daemon started",
@@ -126,8 +131,12 @@ def metrics_to_prometheus(registry: CounterRegistry) -> str:
     lines = []
     for name in registry.names():
         prom = _prom_name(name)
+        kind = registry.kind(name)
         lines.append(f"# HELP {prom} {metric_help(name)}")
-        lines.append(f"# TYPE {prom} {registry.kind(name)}")
+        lines.append(f"# TYPE {prom} {kind}")
+        if kind == "histogram":
+            _histogram_lines(lines, prom, registry.histograms(name))
+            continue
         for labels, value in registry.samples(name):
             if labels:
                 body = ",".join(
@@ -138,6 +147,23 @@ def metrics_to_prometheus(registry: CounterRegistry) -> str:
             else:
                 lines.append(f"{prom} {value:g}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _histogram_lines(lines: list, prom: str, samples) -> None:
+    """Render one histogram family: per label set, cumulative
+    ``_bucket`` lines (``le`` last, Prometheus convention), then
+    ``_sum`` and ``_count``."""
+    for labels, hist in samples:
+        base = ",".join(
+            f'{_LABEL_OK.sub("_", k)}="{_prom_label_value(v)}"'
+            for k, v in sorted(labels.items())
+        )
+        for le, cumulative in hist.bucket_pairs():
+            body = f'{base},le="{le}"' if base else f'le="{le}"'
+            lines.append(f"{prom}_bucket{{{body}}} {cumulative}")
+        tail = f"{{{base}}}" if base else ""
+        lines.append(f"{prom}_sum{tail} {hist.sum:.12g}")
+        lines.append(f"{prom}_count{tail} {hist.count}")
 
 
 def write_metrics(

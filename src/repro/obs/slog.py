@@ -1,0 +1,171 @@
+"""Structured JSON event logs for the serve daemon.
+
+One line per request — machine-parseable, schema-versioned like the
+bench documents, replacing the stdlib handler's ad-hoc access log as
+the daemon's primary record.  A line carries the request id, the
+fingerprint it resolved to, the outcome, the phase timings recovered
+from the request's span map, and the planner-pool queue wait:
+
+    {"elapsed_ms": 12.4, "endpoint": "plan", "kind": "serve-request",
+     "outcome": "ok", "phases_ms": {"profile": 6.1, "tile": 3.0},
+     "queue_wait_ms": 0.2, "request_id": "9f4c...", ...}
+
+Lines are emitted with sorted keys so logs diff cleanly and a grep for
+``"kind": "serve-request"`` always finds them.  :func:`validate_slog`
+is the write-side contract: every record is validated *before* it is
+written, so a malformed record is a bug at the source, never a
+surprise in a log pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, Dict, IO, Optional
+
+__all__ = [
+    "SLOG_KIND",
+    "SLOG_SCHEMA_VERSION",
+    "SLOG_OUTCOMES",
+    "SlogWriter",
+    "make_record",
+    "open_slog",
+    "validate_slog",
+]
+
+SLOG_SCHEMA_VERSION = 1
+SLOG_KIND = "serve-request"
+SLOG_OUTCOMES = ("ok", "memo_hit", "coalesced", "timeout", "error")
+
+_REQUIRED: Dict[str, type] = {
+    "schema_version": int,
+    "kind": str,
+    "ts_unix": float,
+    "request_id": str,
+    "endpoint": str,
+    "outcome": str,
+    "status": int,
+    "elapsed_ms": float,
+}
+_OPTIONAL = ("fingerprint", "preset", "served", "queue_wait_ms", "phases_ms",
+             "error")
+
+
+def validate_slog(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Raise ``ValueError`` unless ``record`` is a valid log line."""
+    if not isinstance(record, dict):
+        raise ValueError("slog record must be a dict")
+    for key, expected in _REQUIRED.items():
+        if key not in record:
+            raise ValueError(f"slog record missing {key!r}")
+        value = record[key]
+        if expected is float:
+            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+        elif expected is int:
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        else:
+            ok = isinstance(value, expected)
+        if not ok:
+            raise ValueError(f"slog {key!r} must be {expected.__name__}")
+    if record["schema_version"] != SLOG_SCHEMA_VERSION:
+        raise ValueError(
+            f"slog schema_version != {SLOG_SCHEMA_VERSION}"
+        )
+    if record["kind"] != SLOG_KIND:
+        raise ValueError(f"slog kind != {SLOG_KIND!r}")
+    if record["outcome"] not in SLOG_OUTCOMES:
+        raise ValueError(f"slog outcome {record['outcome']!r} unknown")
+    if not record["request_id"]:
+        raise ValueError("slog request_id empty")
+    if record["elapsed_ms"] < 0:
+        raise ValueError("slog elapsed_ms negative")
+    unknown = set(record) - set(_REQUIRED) - set(_OPTIONAL)
+    if unknown:
+        raise ValueError(f"slog unknown fields: {sorted(unknown)}")
+    phases = record.get("phases_ms")
+    if phases is not None:
+        if not isinstance(phases, dict) or any(
+            not isinstance(v, (int, float)) or v < 0 for v in phases.values()
+        ):
+            raise ValueError("slog phases_ms must map phase -> ms >= 0")
+    queue_wait = record.get("queue_wait_ms")
+    if queue_wait is not None and (
+        not isinstance(queue_wait, (int, float)) or queue_wait < 0
+    ):
+        raise ValueError("slog queue_wait_ms must be >= 0")
+    error = record.get("error")
+    if error is not None:
+        if not isinstance(error, dict) or not isinstance(
+            error.get("code"), str
+        ):
+            raise ValueError("slog error must be {'code': str, ...}")
+    return record
+
+
+def make_record(
+    *,
+    request_id: str,
+    endpoint: str,
+    outcome: str,
+    status: int,
+    elapsed_ms: float,
+    ts_unix: Optional[float] = None,
+    fingerprint: Optional[str] = None,
+    preset: Optional[str] = None,
+    served: Optional[str] = None,
+    queue_wait_ms: Optional[float] = None,
+    phases_ms: Optional[Dict[str, float]] = None,
+    error: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build and validate one structured log record."""
+    record: Dict[str, Any] = {
+        "schema_version": SLOG_SCHEMA_VERSION,
+        "kind": SLOG_KIND,
+        "ts_unix": round(time.time() if ts_unix is None else ts_unix, 6),
+        "request_id": request_id,
+        "endpoint": endpoint,
+        "outcome": outcome,
+        "status": int(status),
+        "elapsed_ms": round(float(elapsed_ms), 3),
+    }
+    if fingerprint is not None:
+        record["fingerprint"] = fingerprint
+    if preset is not None:
+        record["preset"] = preset
+    if served is not None:
+        record["served"] = served
+    if queue_wait_ms is not None:
+        record["queue_wait_ms"] = round(float(queue_wait_ms), 3)
+    if phases_ms:
+        record["phases_ms"] = {
+            phase: round(float(ms), 3)
+            for phase, ms in sorted(phases_ms.items())
+            if ms > 0
+        }
+    if error is not None:
+        record["error"] = error
+    return validate_slog(record)
+
+
+class SlogWriter:
+    """Thread-safe one-line-per-record JSON writer."""
+
+    def __init__(self, stream: IO[str]):
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(validate_slog(record), sort_keys=True)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+
+
+def open_slog(target: str) -> SlogWriter:
+    """``"-"`` means stderr (alongside the daemon's own chatter);
+    anything else is an append-mode file path."""
+    if target == "-":
+        return SlogWriter(sys.stderr)
+    return SlogWriter(open(target, "a", encoding="utf-8"))

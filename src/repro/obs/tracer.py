@@ -26,14 +26,24 @@ keeps the instrumented replay within noise of the uninstrumented one
 Events are stored as Chrome trace-event dicts (``name``, ``cat``,
 ``ph``, ``ts``, ``dur``, ``args``) so the exporter in
 :mod:`repro.obs.chrome_trace` only has to assign process/thread ids.
+
+When a request context is active (:mod:`repro.obs.ops`), spans and
+instants are additionally tagged with the context's ``request_id`` and
+appended to the context, so the serve daemon can reconstruct one
+request's span tree out of a multi-threaded event stream.  Long-lived
+daemons pass ``max_events`` to bound the in-memory event buffers (a
+ring: oldest events are dropped); experiment drivers keep the
+unbounded default so exported traces stay complete.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from collections import deque
+from typing import Dict, List, MutableSequence, Optional
 
 from repro.obs.counters import NULL_REGISTRY, CounterRegistry
+from repro.obs.ops import current_context
 
 
 class Span:
@@ -59,16 +69,22 @@ class Span:
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         tracer = self._tracer
-        tracer.events.append(
-            {
-                "name": self._name,
-                "cat": self._cat,
-                "ph": "X",
-                "ts": self._start_us,
-                "dur": tracer.now_us() - self._start_us,
-                "args": self._args,
-            }
-        )
+        args = self._args
+        ctx = current_context()
+        if ctx is not None:
+            args = dict(args)
+            args["request_id"] = ctx.request_id
+        event = {
+            "name": self._name,
+            "cat": self._cat,
+            "ph": "X",
+            "ts": self._start_us,
+            "dur": tracer.now_us() - self._start_us,
+            "args": args,
+        }
+        tracer.events.append(event)
+        if ctx is not None:
+            ctx.note_span(event)
         return False
 
 
@@ -107,10 +123,20 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, metrics: Optional[CounterRegistry] = None):
+    def __init__(
+        self,
+        metrics: Optional[CounterRegistry] = None,
+        max_events: Optional[int] = None,
+    ):
         self.metrics = metrics if metrics is not None else CounterRegistry()
-        self.events: List[dict] = []
-        self.sim_events: List[dict] = []
+        if max_events is None:
+            self.events: MutableSequence[dict] = []
+            self.sim_events: MutableSequence[dict] = []
+        else:
+            if max_events < 1:
+                raise ValueError("max_events must be >= 1")
+            self.events = deque(maxlen=max_events)
+            self.sim_events = deque(maxlen=max_events)
         self.timelines: Dict[str, object] = {}
         self._t0 = time.perf_counter()
 
@@ -127,16 +153,21 @@ class Tracer:
 
     def instant(self, name: str, cat: str = "app", **args: object) -> None:
         """Record a point-in-time ('i') event, e.g. a scheduler decision."""
-        self.events.append(
-            {
-                "name": name,
-                "cat": cat,
-                "ph": "i",
-                "s": "t",
-                "ts": self.now_us(),
-                "args": args,
-            }
-        )
+        ctx = current_context()
+        if ctx is not None:
+            args = dict(args)
+            args["request_id"] = ctx.request_id
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",
+            "ts": self.now_us(),
+            "args": args,
+        }
+        self.events.append(event)
+        if ctx is not None:
+            ctx.note_span(event)
 
     def counter(
         self, name: str, values: Dict[str, float], ts_us: Optional[float] = None

@@ -45,6 +45,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.errors import ConfigurationError
+from repro.obs.ops import RequestContext, current_request_id, use_context
 from repro.obs.tracer import NULL_TRACER
 
 T = TypeVar("T")
@@ -138,10 +139,24 @@ def shutdown_pools() -> None:
 atexit.register(shutdown_pools)
 
 
-def _timed_task(fn: Callable[[T], R], item: T) -> "tuple":
-    """Run one task in a worker, measuring the in-worker duration."""
+def _timed_task(
+    fn: Callable[[T], R], item: T, request_id: Optional[str] = None
+) -> "tuple":
+    """Run one task in a worker, measuring the in-worker duration.
+
+    When the submitting side ran under a request context, its id is
+    shipped along and re-established here, so spans and counters the
+    task emits *inside the worker process* stay attributed to the
+    originating request (they surface in the worker's own tracer; the
+    parent-side ``parallel.task`` instants are tagged by the parent's
+    context as usual).
+    """
     start = time.perf_counter()
-    result = fn(item)
+    if request_id is None:
+        result = fn(item)
+    else:
+        with use_context(RequestContext(request_id, endpoint="worker")):
+            result = fn(item)
     return os.getpid(), time.perf_counter() - start, result
 
 
@@ -165,11 +180,14 @@ def parallel_map(
     if _IN_WORKER or workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
     pool = _get_pool(workers)
+    request_id = current_request_id()
     with tracer.span(
         "parallel.map", cat="parallel", label=label,
         tasks=len(items), workers=workers,
     ):
-        futures = [pool.submit(_timed_task, fn, item) for item in items]
+        futures = [
+            pool.submit(_timed_task, fn, item, request_id) for item in items
+        ]
         results: List[R] = []
         for index, future in enumerate(futures):
             pid, dur_s, result = future.result()

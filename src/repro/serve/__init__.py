@@ -11,18 +11,27 @@ The layers, bottom up:
 """
 
 from repro.serve.client import ServeClient, ServeClientError
-from repro.serve.server import ServeHandle, run_forever, start_server, wait_until_ready
+from repro.serve.server import (
+    ServeHandle,
+    advertised_host,
+    run_forever,
+    start_server,
+    wait_until_ready,
+)
 from repro.serve.service import (
     DEFAULT_MAX_BODY_BYTES,
     DEFAULT_TIMEOUT_S,
+    DEFAULT_TRACEZ_CAPACITY,
     PlanService,
 )
 from repro.serve.wire import (
     GPU_BASES,
+    REQUEST_ID_HEADER,
     SERVE_PRESETS,
     PlanRequest,
     WireError,
     error_body,
+    normalize_request_id,
     parse_plan_request,
     plan_digest,
     plan_fingerprint,
@@ -31,7 +40,9 @@ from repro.serve.wire import (
 __all__ = [
     "DEFAULT_MAX_BODY_BYTES",
     "DEFAULT_TIMEOUT_S",
+    "DEFAULT_TRACEZ_CAPACITY",
     "GPU_BASES",
+    "REQUEST_ID_HEADER",
     "SERVE_PRESETS",
     "PlanRequest",
     "PlanService",
@@ -39,7 +50,9 @@ __all__ = [
     "ServeClientError",
     "ServeHandle",
     "WireError",
+    "advertised_host",
     "error_body",
+    "normalize_request_id",
     "parse_plan_request",
     "plan_digest",
     "plan_fingerprint",

@@ -4,6 +4,12 @@ Used by ``ktiler client``, the load generator, and the black-box test
 suite — all of which deliberately go through real HTTP (urllib over a
 socket) rather than calling :class:`~repro.serve.service.PlanService`
 directly, so the wire format itself is what gets exercised.
+
+Request ids: pass ``request_id=`` per call (or a default at
+construction) and the client sends it as ``X-Request-Id``; the daemon
+echoes the id on every response (header and, for plan/explain, the
+JSON body), and :attr:`ServeClient.last_request_id` records whatever
+came back — including ids the daemon minted when none was supplied.
 """
 
 from __future__ import annotations
@@ -13,13 +19,19 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, Optional
 
+#: Kept in sync with :data:`repro.serve.wire.REQUEST_ID_HEADER`; the
+#: literal is repeated here so the client stays stdlib-light (wire.py
+#: pulls in the whole planning stack).
+REQUEST_ID_HEADER = "X-Request-Id"
+
 
 class ServeClientError(Exception):
     """A non-2xx response, carrying the structured error body."""
 
-    def __init__(self, status: int, body: Any):
+    def __init__(self, status: int, body: Any, request_id: Optional[str] = None):
         self.status = status
         self.body = body
+        self.request_id = request_id
         error = body.get("error", {}) if isinstance(body, dict) else {}
         self.code = error.get("code", "unknown")
         message = error.get("message", str(body))
@@ -29,15 +41,29 @@ class ServeClientError(Exception):
 class ServeClient:
     """Blocking JSON client for one daemon URL."""
 
-    def __init__(self, url: str, timeout_s: float = 600.0):
+    def __init__(
+        self,
+        url: str,
+        timeout_s: float = 600.0,
+        request_id: Optional[str] = None,
+    ):
         self.url = url.rstrip("/")
         self.timeout_s = timeout_s
+        self.request_id = request_id
+        self.last_request_id: Optional[str] = None
 
     def _request(
-        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        request_id: Optional[str] = None,
     ):
         data = None
         headers = {"Accept": "application/json"}
+        rid = request_id if request_id is not None else self.request_id
+        if rid:
+            headers[REQUEST_ID_HEADER] = rid
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -48,25 +74,46 @@ class ServeClient:
             with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
                 body = resp.read().decode("utf-8")
                 content_type = resp.headers.get("Content-Type", "")
+                self.last_request_id = resp.headers.get(REQUEST_ID_HEADER)
         except urllib.error.HTTPError as exc:
             raw = exc.read().decode("utf-8", errors="replace")
+            echoed = exc.headers.get(REQUEST_ID_HEADER)
+            self.last_request_id = echoed
             try:
                 parsed = json.loads(raw)
             except ValueError:
                 parsed = {"error": {"code": "non_json", "message": raw}}
-            raise ServeClientError(exc.code, parsed) from None
+            raise ServeClientError(exc.code, parsed, request_id=echoed) from None
         if content_type.startswith("application/json"):
             return json.loads(body)
         return body
 
-    def plan(self, request: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-        return self._request("POST", "/v1/plan", request or {})
+    def plan(
+        self,
+        request: Optional[Dict[str, Any]] = None,
+        request_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        return self._request("POST", "/v1/plan", request or {}, request_id)
 
-    def explain(self, request: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-        return self._request("POST", "/v1/explain", request or {})
+    def explain(
+        self,
+        request: Optional[Dict[str, Any]] = None,
+        request_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        return self._request("POST", "/v1/explain", request or {}, request_id)
 
     def health(self) -> Dict[str, Any]:
         return self._request("GET", "/healthz")
 
     def metrics(self) -> str:
         return self._request("GET", "/metrics")
+
+    def statusz(self) -> str:
+        """The HTML ops page (returned as text)."""
+        return self._request("GET", "/statusz")
+
+    def debug_vars(self) -> Dict[str, Any]:
+        return self._request("GET", "/debug/vars")
+
+    def debug_tracez(self) -> Dict[str, Any]:
+        return self._request("GET", "/debug/tracez")

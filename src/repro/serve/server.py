@@ -30,7 +30,12 @@ import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.serve.service import PlanService
-from repro.serve.wire import WireError, error_body
+from repro.serve.wire import (
+    REQUEST_ID_HEADER,
+    WireError,
+    error_body,
+    normalize_request_id,
+)
 
 
 class _ServeHTTPServer(ThreadingHTTPServer):
@@ -43,6 +48,7 @@ class _ServeHTTPServer(ThreadingHTTPServer):
 class _Handler(BaseHTTPRequestHandler):
     server_version = "ktiler-serve/1"
     protocol_version = "HTTP/1.1"
+    _request_id: str = ""
 
     @property
     def service(self) -> PlanService:
@@ -58,72 +64,117 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        self._send_body(status, body, "application/json")
 
     def _send_text(self, status: int, text: str, content_type: str) -> None:
-        body = text.encode("utf-8")
+        self._send_body(status, text.encode("utf-8"), content_type)
+
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._request_id:
+            self.send_header(REQUEST_ID_HEADER, self._request_id)
+        if self.close_connection:
+            # An intentional close (411/413/unframeable body) is
+            # advertised, not just performed.
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
+
+    def _reject(self, status: int, code: str, message: str) -> None:
+        self.service.note_http_error(code, status)
+        self._send_json(status, error_body(code, message))
+
+    def _discard_body(self) -> None:
+        """Consume a declared request body so keep-alive framing stays
+        intact; close the connection when the framing is unknowable or
+        the body is over the cap (reading it would be a free DoS)."""
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = None if raw_length is None else int(raw_length)
+        except ValueError:
+            length = None
+        if length is None or length > self.service.max_body_bytes:
+            self.close_connection = True
+            return
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(min(65536, remaining))
+            if not chunk:
+                self.close_connection = True
+                return
+            remaining -= len(chunk)
 
     # -- routing -----------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._request_id = normalize_request_id(
+            self.headers.get(REQUEST_ID_HEADER)
+        )
         if self.path == "/healthz":
             self._send_json(200, self.service.health())
         elif self.path == "/metrics":
             self._send_text(
                 200, self.service.metrics_text(), "text/plain; version=0.0.4"
             )
+        elif self.path == "/statusz":
+            self._send_text(
+                200, self.service.statusz_html(), "text/html; charset=utf-8"
+            )
+        elif self.path == "/debug/vars":
+            self._send_json(200, self.service.debug_vars())
+        elif self.path == "/debug/tracez":
+            self._send_json(200, self.service.debug_tracez())
         else:
-            self._send_json(404, error_body("not_found", f"no route {self.path!r}"))
+            # GET has no body: keep-alive framing is intact, stay open.
+            self._reject(404, "not_found", f"no route {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802
+        self._request_id = normalize_request_id(
+            self.headers.get(REQUEST_ID_HEADER)
+        )
         if self.path not in ("/v1/plan", "/v1/explain"):
-            self._send_json(404, error_body("not_found", f"no route {self.path!r}"))
+            # Drain the declared body first: an unread body would be
+            # parsed as the next request line on a kept-alive socket.
+            self._discard_body()
+            self._reject(404, "not_found", f"no route {self.path!r}")
             return
         raw_length = self.headers.get("Content-Length")
         if raw_length is None:
-            self._send_json(
-                411, error_body("length_required", "Content-Length is required")
+            # Unknowable framing: refuse and close.
+            self.close_connection = True
+            self._reject(
+                411, "length_required", "Content-Length is required"
             )
             return
         try:
             length = int(raw_length)
         except ValueError:
-            self._send_json(
-                400, error_body("bad_request", "invalid Content-Length")
-            )
+            self.close_connection = True
+            self._reject(400, "bad_request", "invalid Content-Length")
             return
         if length > self.service.max_body_bytes:
             # Refuse before reading; the connection is closed because
             # the unread body would otherwise corrupt keep-alive.
             self.close_connection = True
-            self._send_json(
+            self._reject(
                 413,
-                error_body(
-                    "body_too_large",
-                    f"request body of {length} bytes exceeds the "
-                    f"{self.service.max_body_bytes}-byte limit",
-                ),
+                "body_too_large",
+                f"request body of {length} bytes exceeds the "
+                f"{self.service.max_body_bytes}-byte limit",
             )
             return
         try:
             payload = json.loads(self.rfile.read(length).decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
-            self._send_json(
-                400, error_body("bad_json", f"request body is not JSON: {exc}")
+            self._reject(
+                400, "bad_json", f"request body is not JSON: {exc}"
             )
             return
         endpoint = self.service.plan if self.path == "/v1/plan" else self.service.explain
         try:
-            self._send_json(200, endpoint(payload))
+            self._send_json(200, endpoint(payload, request_id=self._request_id))
         except WireError as exc:
             self._send_json(exc.status, exc.body())
         except BrokenPipeError:
@@ -135,17 +186,35 @@ class _Handler(BaseHTTPRequestHandler):
             )
 
 
+#: Wildcard bind addresses that are not routable as a *destination*.
+_WILDCARD_HOSTS = ("0.0.0.0", "::", "0:0:0:0:0:0:0:0", "")
+
+
+def advertised_host(bind_host: str) -> str:
+    """The host a client should dial to reach a daemon bound to
+    ``bind_host`` from this machine: wildcard binds (``0.0.0.0``,
+    ``::``) accept connections on every interface but are meaningless
+    as a destination, so advertise loopback for them."""
+    return "127.0.0.1" if bind_host in _WILDCARD_HOSTS else bind_host
+
+
 class ServeHandle:
-    """A running daemon: its URL, server, thread, and service."""
+    """A running daemon: its URL, server, thread, and service.
+
+    ``url``/``host`` are *routable* (what a local client dials);
+    ``bind_host`` preserves what the listener actually bound to.
+    """
 
     def __init__(self, server: _ServeHTTPServer, thread: threading.Thread):
         self.server = server
         self.thread = thread
         self.service = server.service
-        host, port = server.server_address[:2]
-        self.host = host
+        bind_host, port = server.server_address[:2]
+        self.bind_host = bind_host
         self.port = port
-        self.url = f"http://{host}:{port}"
+        self.host = advertised_host(bind_host)
+        netloc = f"[{self.host}]" if ":" in self.host else self.host
+        self.url = f"http://{netloc}:{port}"
 
     def close(self) -> None:
         self.server.shutdown()
@@ -196,7 +265,10 @@ def run_forever(
     except OSError as exc:
         emit(f"[serve] cannot bind {host}:{port}: {exc}")
         return 1
-    emit(f"[serve] listening on {handle.url} (pid ready; SIGTERM to stop)")
+    emit(
+        f"[serve] listening on {handle.url} "
+        f"(bound {handle.bind_host}:{handle.port}; SIGTERM to stop)"
+    )
     stop = threading.Event()
     signals = {signal.SIGTERM: "SIGTERM", signal.SIGINT: "SIGINT"}
     received = {}

@@ -22,18 +22,42 @@ Per-request work is traced (``serve.request`` / ``serve.plan`` spans)
 and counted (``serve.*`` families, exported at ``GET /metrics``).  A
 request that outlives its timeout gets a structured 504 but the job
 keeps running and lands in the memo — a retry is served warm.
+
+Every request additionally runs under a request context
+(:mod:`repro.obs.ops`): its id — client-supplied ``X-Request-Id`` or
+minted — tags every span/counter the request touches, including work
+done on the planner pool and in fork-pool workers.  On completion the
+service records a ``serve.latency`` histogram sample (per
+endpoint/outcome), emits one structured JSON log line
+(:mod:`repro.obs.slog`), and files an exemplar (span tree + counter
+deltas) into the ``/debug/tracez`` ring.  All of this is *recording
+only*: the telemetry layer never feeds back into planning, so plans
+and their work counters stay bit-identical with telemetry on or off.
 """
 
 from __future__ import annotations
 
+import os
+import sys
 import threading
 import time
+import traceback
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import asdict
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.obs.ops import (
+    SLOW_REQUEST_MS,
+    RequestContext,
+    TraceBuffer,
+    build_exemplar,
+    new_request_id,
+    render_statusz,
+    use_context,
+)
+from repro.obs.slog import SlogWriter, make_record
 from repro.obs.tracer import Tracer
 from repro.serve.wire import (
     PlanRequest,
@@ -53,6 +77,16 @@ DEFAULT_TIMEOUT_S = 300.0
 #: Largest request body the HTTP layer will read, bytes.
 DEFAULT_MAX_BODY_BYTES = 1024 * 1024
 
+#: Request exemplars kept in each tracez ring.
+DEFAULT_TRACEZ_CAPACITY = 64
+
+#: How the response's ``served`` field maps onto outcome tags.
+_OUTCOME_BY_SERVED = {
+    "planned": "ok",
+    "memo": "memo_hit",
+    "coalesced": "coalesced",
+}
+
 
 class PlanService:
     """Thread-safe plan/explain engine behind the HTTP daemon."""
@@ -68,6 +102,9 @@ class PlanService:
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         planner_threads: int = 4,
         max_memo_entries: int = DEFAULT_MEMO_ENTRIES,
+        slog: Optional[SlogWriter] = None,
+        tracez_capacity: int = DEFAULT_TRACEZ_CAPACITY,
+        slow_ms: float = SLOW_REQUEST_MS,
     ):
         self.tracer = tracer if tracer is not None else Tracer()
         self.store = store
@@ -91,6 +128,8 @@ class PlanService:
         )
         self._started = time.time()
         self._monotonic = time.perf_counter
+        self._slog = slog
+        self.tracez = TraceBuffer(capacity=tracez_capacity, slow_ms=slow_ms)
 
     # -- counters ----------------------------------------------------
 
@@ -104,13 +143,20 @@ class PlanService:
     # -- single flight -----------------------------------------------
 
     def _single_flight(
-        self, key: str, job: Callable[[], Dict[str, Any]], timeout_s: float
+        self,
+        key: str,
+        job: Callable[[], Dict[str, Any]],
+        timeout_s: float,
+        ctx: Optional[RequestContext] = None,
     ) -> Tuple[Dict[str, Any], str]:
         """Return (result, served) where served ∈ planned/memo/coalesced.
 
         The leader thread for a key runs ``job`` on the planner pool;
         every other thread arriving before it completes waits on the
-        same future.  Timeouts abandon the wait, never the job.
+        same future.  Timeouts abandon the wait, never the job.  The
+        leader's request context rides along to the pool thread, so
+        planning spans and counters are tagged with the request id
+        that actually triggered the work.
         """
         with self._lock:
             cached = self._memo.get(key)
@@ -124,7 +170,9 @@ class PlanService:
                 self.tracer.metrics.inc("serve.coalesced")
             else:
                 served = "planned"
-                future = self._pool.submit(self._run_job, key, job)
+                future = self._pool.submit(
+                    self._run_job, key, job, self._monotonic(), ctx
+                )
                 self._inflight[key] = future
         try:
             result = future.result(timeout=timeout_s)
@@ -137,75 +185,194 @@ class PlanService:
             )
         return result, served
 
-    def _run_job(self, key: str, job: Callable[[], Dict[str, Any]]) -> Dict[str, Any]:
-        try:
-            result = job()
-            with self._lock:
-                self._memo[key] = result
-                while len(self._memo) > self._max_memo_entries:
-                    self._memo.popitem(last=False)
-            return result
-        finally:
-            # Memo (on success) is published before the in-flight entry
-            # disappears, so late arrivals always see one or the other.
-            with self._lock:
-                self._inflight.pop(key, None)
+    def _run_job(
+        self,
+        key: str,
+        job: Callable[[], Dict[str, Any]],
+        submitted_at: Optional[float] = None,
+        ctx: Optional[RequestContext] = None,
+    ) -> Dict[str, Any]:
+        with use_context(ctx):
+            if submitted_at is not None:
+                wait_s = max(0.0, self._monotonic() - submitted_at)
+                if ctx is not None:
+                    ctx.queue_wait_s = wait_s
+                with self._lock:
+                    self.tracer.metrics.observe("serve.queue_wait", wait_s)
+            try:
+                result = job()
+                with self._lock:
+                    self._memo[key] = result
+                    while len(self._memo) > self._max_memo_entries:
+                        self._memo.popitem(last=False)
+                return result
+            finally:
+                # Memo (on success) is published before the in-flight
+                # entry disappears, so late arrivals always see one or
+                # the other.
+                with self._lock:
+                    self._inflight.pop(key, None)
 
     # -- endpoints ---------------------------------------------------
 
-    def plan(self, payload: Any) -> Dict[str, Any]:
+    def plan(
+        self, payload: Any, request_id: Optional[str] = None
+    ) -> Dict[str, Any]:
         """Serve ``POST /v1/plan``: a tiled schedule for the request."""
-        return self._serve("plan", payload)
+        return self._serve("plan", payload, request_id)
 
-    def explain(self, payload: Any) -> Dict[str, Any]:
+    def explain(
+        self, payload: Any, request_id: Optional[str] = None
+    ) -> Dict[str, Any]:
         """Serve ``POST /v1/explain``: the audit report for the request."""
-        return self._serve("explain", payload)
+        return self._serve("explain", payload, request_id)
 
-    def _serve(self, endpoint: str, payload: Any) -> Dict[str, Any]:
+    def _serve(
+        self, endpoint: str, payload: Any, request_id: Optional[str] = None
+    ) -> Dict[str, Any]:
         t0 = self._monotonic()
-        try:
-            request = parse_plan_request(
-                payload,
-                default_sim_backend=self.defaults["sim_backend"],
-                default_planner_backend=self.defaults["planner_backend"],
-                default_workers=self.defaults["workers"],
+        ctx = RequestContext(request_id or new_request_id(), endpoint)
+        fingerprint: Optional[str] = None
+        preset: Optional[str] = None
+        with use_context(ctx):
+            try:
+                request = parse_plan_request(
+                    payload,
+                    default_sim_backend=self.defaults["sim_backend"],
+                    default_planner_backend=self.defaults["planner_backend"],
+                    default_workers=self.defaults["workers"],
+                )
+                preset = request.preset
+                fingerprint = plan_fingerprint(request, self.store.key_for)
+                timeout_s = self.timeout_s
+                if request.timeout_s is not None:
+                    timeout_s = min(request.timeout_s, self.timeout_s)
+                # The measure flag changes the response payload (not the
+                # plan), so measured and unmeasured variants memoize apart.
+                key = f"{endpoint}:{fingerprint}"
+                if endpoint == "plan" and request.measure:
+                    key += ":measured"
+                if endpoint == "plan":
+                    job = lambda: self._plan_job(request, fingerprint)
+                else:
+                    job = lambda: self._explain_job(request, fingerprint)
+                with self.tracer.span(
+                    "serve.request",
+                    cat="serve",
+                    endpoint=endpoint,
+                    fingerprint=fingerprint[:12],
+                    preset=request.preset,
+                ):
+                    result, served = self._single_flight(
+                        key, job, timeout_s, ctx
+                    )
+            except WireError as exc:
+                elapsed_ms = round((self._monotonic() - t0) * 1000.0, 3)
+                self._count(
+                    "requests", endpoint=endpoint, status=str(exc.status)
+                )
+                self._count("errors", code=exc.code)
+                self._finish_request(
+                    ctx,
+                    outcome="timeout" if exc.code == "timeout" else "error",
+                    status=exc.status,
+                    elapsed_ms=elapsed_ms,
+                    fingerprint=fingerprint,
+                    preset=preset,
+                    error={"code": exc.code, "message": exc.message},
+                )
+                raise
+            except Exception as exc:
+                elapsed_ms = round((self._monotonic() - t0) * 1000.0, 3)
+                self._count("requests", endpoint=endpoint, status="500")
+                self._count("errors", code="internal")
+                self._finish_request(
+                    ctx,
+                    outcome="error",
+                    status=500,
+                    elapsed_ms=elapsed_ms,
+                    fingerprint=fingerprint,
+                    preset=preset,
+                    error={"code": "internal", "message": str(exc)},
+                )
+                raise
+            elapsed_ms = round((self._monotonic() - t0) * 1000.0, 3)
+            self._count("requests", endpoint=endpoint, status="200")
+            self._observe_latency(endpoint, elapsed_ms / 1000.0)
+            self._finish_request(
+                ctx,
+                outcome=_OUTCOME_BY_SERVED.get(served, "ok"),
+                status=200,
+                elapsed_ms=elapsed_ms,
+                fingerprint=fingerprint,
+                preset=preset,
+                served=served,
             )
-            fingerprint = plan_fingerprint(request, self.store.key_for)
-            timeout_s = self.timeout_s
-            if request.timeout_s is not None:
-                timeout_s = min(request.timeout_s, self.timeout_s)
-            # The measure flag changes the response payload (not the
-            # plan), so measured and unmeasured variants memoize apart.
-            key = f"{endpoint}:{fingerprint}"
-            if endpoint == "plan" and request.measure:
-                key += ":measured"
-            if endpoint == "plan":
-                job = lambda: self._plan_job(request, fingerprint)
-            else:
-                job = lambda: self._explain_job(request, fingerprint)
-            with self.tracer.span(
-                "serve.request",
-                cat="serve",
-                endpoint=endpoint,
-                fingerprint=fingerprint[:12],
-                preset=request.preset,
-            ):
-                result, served = self._single_flight(key, job, timeout_s)
-        except WireError as exc:
-            self._count("requests", endpoint=endpoint, status=str(exc.status))
-            self._count("errors", code=exc.code)
-            raise
-        except Exception:
-            self._count("requests", endpoint=endpoint, status="500")
-            self._count("errors", code="internal")
-            raise
-        elapsed_s = self._monotonic() - t0
-        self._count("requests", endpoint=endpoint, status="200")
-        self._observe_latency(endpoint, elapsed_s)
         response = dict(result)
         response["served"] = served
-        response["elapsed_ms"] = round(elapsed_s * 1000.0, 3)
+        response["elapsed_ms"] = elapsed_ms
+        response["request_id"] = ctx.request_id
         return response
+
+    def _finish_request(
+        self,
+        ctx: RequestContext,
+        outcome: str,
+        status: int,
+        elapsed_ms: float,
+        fingerprint: Optional[str] = None,
+        preset: Optional[str] = None,
+        served: Optional[str] = None,
+        error: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record histogram + structured log + tracez exemplar.
+
+        Telemetry is best-effort by design: a recording failure counts
+        ``serve.telemetry_errors`` and never fails the request.  The
+        histogram observes ``elapsed_ms / 1000`` — the *same* rounded
+        value the response carries — so client-visible latencies and
+        ``/metrics`` bucket counts agree exactly.
+        """
+        from repro.obs.bench import phase_breakdown
+
+        try:
+            with self._lock:
+                self.tracer.metrics.observe(
+                    "serve.latency",
+                    elapsed_ms / 1000.0,
+                    endpoint=ctx.endpoint,
+                    outcome=outcome,
+                )
+            phases_ms = {
+                phase: seconds * 1000.0
+                for phase, seconds in phase_breakdown(ctx.spans()).items()
+                if seconds > 0
+            }
+            queue_wait_ms = (
+                None
+                if ctx.queue_wait_s is None
+                else round(ctx.queue_wait_s * 1000.0, 3)
+            )
+            record = make_record(
+                request_id=ctx.request_id,
+                endpoint=ctx.endpoint,
+                outcome=outcome,
+                status=status,
+                elapsed_ms=elapsed_ms,
+                ts_unix=ctx.started_unix,
+                fingerprint=fingerprint,
+                preset=preset,
+                served=served,
+                queue_wait_ms=queue_wait_ms,
+                phases_ms=phases_ms,
+                error=error,
+            )
+            if self._slog is not None:
+                self._slog.emit(record)
+            self.tracez.record(build_exemplar(ctx, record))
+        except Exception:
+            traceback.print_exc(file=sys.stderr)
+            self._count("telemetry_errors")
 
     # -- jobs --------------------------------------------------------
 
@@ -329,6 +496,84 @@ class PlanService:
                 "serve.uptime_s", round(time.time() - self._started, 3)
             )
             return metrics_to_prometheus(self.tracer.metrics)
+
+    def note_http_error(self, code: str, status: int) -> None:
+        """Count an error the HTTP layer rejected before dispatch
+        (unknown path, missing/oversized body, malformed JSON)."""
+        self._count("requests", endpoint="http", status=str(status))
+        self._count("errors", code=code)
+
+    # -- live ops endpoints ------------------------------------------
+
+    def debug_vars(self) -> Dict[str, Any]:
+        """``GET /debug/vars``: JSON counters + histogram snapshots."""
+        from repro.obs.report import metrics_to_json
+
+        self._count("requests", endpoint="debug_vars", status="200")
+        with self._lock:
+            inflight = len(self._inflight)
+            memo = len(self._memo)
+            metrics = metrics_to_json(self.tracer.metrics)
+        return {
+            "pid": os.getpid(),
+            "started_unix": round(self._started, 3),
+            "uptime_s": round(time.time() - self._started, 3),
+            "inflight": inflight,
+            "memo_entries": memo,
+            "defaults": dict(self.defaults),
+            "metrics": metrics,
+        }
+
+    def debug_tracez(self) -> Dict[str, Any]:
+        """``GET /debug/tracez``: recent / slow / error exemplars."""
+        self._count("requests", endpoint="debug_tracez", status="200")
+        return self.tracez.snapshot()
+
+    def status_snapshot(self) -> Dict[str, Any]:
+        """The raw material of the statusz page (also handy in tests)."""
+        metrics = self.tracer.metrics
+        with self._lock:
+            inflight = len(self._inflight)
+            memo = len(self._memo)
+            totals = {
+                name[len("serve."):]: metrics.total(name)
+                for name in ("serve.requests", "serve.plans",
+                             "serve.coalesced", "serve.memo_hits",
+                             "serve.errors")
+            }
+            latency = {}
+            for endpoint in ("plan", "explain"):
+                merged = metrics.merged_histogram(
+                    "serve.latency", endpoint=endpoint
+                )
+                if merged is not None and merged.count:
+                    latency[endpoint] = merged.snapshot()
+        uptime_s = max(time.time() - self._started, 1e-9)
+        answered = totals["plans"] + totals["memo_hits"] + totals["coalesced"]
+        return {
+            "pid": os.getpid(),
+            "uptime_s": uptime_s,
+            "rps": totals["requests"] / uptime_s,
+            "inflight": inflight,
+            "memo_entries": memo,
+            "memo_hit_rate": (
+                totals["memo_hits"] / answered if answered else 0.0
+            ),
+            "counters": totals,
+            "defaults": dict(self.defaults),
+            "store": (
+                str(self.store.root)
+                if getattr(self.store, "root", None) is not None
+                else None
+            ),
+            "latency": latency,
+            "tracez": self.tracez.snapshot(),
+        }
+
+    def statusz_html(self) -> str:
+        """``GET /statusz``: the self-contained HTML ops page."""
+        self._count("requests", endpoint="statusz", status="200")
+        return render_statusz(self.status_snapshot())
 
     def close(self) -> None:
         self._pool.shutdown(wait=False)

@@ -25,6 +25,7 @@ excluded: requests differing only in those coalesce onto one job.
 
 from __future__ import annotations
 
+import re
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Callable, Dict, Optional, Tuple
 
@@ -55,6 +56,33 @@ class WireError(Exception):
 def error_body(code: str, message: str) -> Dict[str, Any]:
     """The structured error shape every non-2xx response uses."""
     return {"error": {"code": code, "message": message}}
+
+
+# --------------------------------------------------------------------
+# Request ids
+# --------------------------------------------------------------------
+
+#: The header a client uses to supply (and the daemon to echo) the id.
+REQUEST_ID_HEADER = "X-Request-Id"
+
+_REQUEST_ID_OK = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
+
+
+def normalize_request_id(raw: Optional[str]) -> str:
+    """Accept a well-formed client-supplied id, else mint a fresh one.
+
+    Ids are limited to a conservative charset/length so they are safe
+    verbatim in headers, JSON log lines, and Prometheus exemplars; a
+    malformed id is *replaced*, never rejected — telemetry must not
+    turn a plannable request into an error.
+    """
+    from repro.obs.ops import new_request_id
+
+    if raw:
+        candidate = raw.strip()
+        if _REQUEST_ID_OK.match(candidate):
+            return candidate
+    return new_request_id()
 
 
 # --------------------------------------------------------------------

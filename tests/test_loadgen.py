@@ -15,6 +15,7 @@ import json
 import pytest
 
 from repro.obs.bench import compare_docs, validate_bench
+from repro.obs.histogram import LogHistogram
 from repro.obs.loadgen import (
     FREQ_LADDER,
     build_loadgen_doc,
@@ -111,6 +112,71 @@ class TestDocument:
                 warmup_requests=0,
             )
 
+    def test_default_outcomes_are_all_planned(self):
+        doc = synthetic_doc(0.002)
+        summary = doc["loadgen"]
+        assert summary["outcomes"] == {
+            "planned": 200, "memo": 0, "coalesced": 0
+        }
+        hist = LogHistogram.from_dict(summary["latency_histogram"])
+        assert hist.count == 200
+        assert "server_histogram" not in summary
+
+    def test_explicit_outcomes_tallied(self):
+        doc = build_loadgen_doc(
+            preset="demo",
+            per_client_latencies=[[0.001, 0.002], [0.003]],
+            per_client_cpu=[0.01],
+            duration_s=0.1,
+            distinct=1,
+            seed=0,
+            warmup_requests=1,
+            per_client_outcomes=[["planned", "memo"], ["coalesced"]],
+            server_elapsed_ms=[1.0, 0.5, 0.4, 2.5],
+            created_unix=1_700_000_000.0,
+        )
+        summary = doc["loadgen"]
+        assert summary["outcomes"] == {
+            "planned": 1, "memo": 1, "coalesced": 1
+        }
+        server = LogHistogram.from_dict(summary["server_histogram"])
+        assert server.count == 4  # warm-up request included
+
+    def test_outcome_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="disagree in length"):
+            build_loadgen_doc(
+                preset="demo",
+                per_client_latencies=[[0.001, 0.002]],
+                per_client_cpu=[0.01],
+                duration_s=0.1,
+                distinct=1,
+                seed=0,
+                warmup_requests=0,
+                per_client_outcomes=[["planned"]],
+            )
+        with pytest.raises(ValueError, match="unknown outcome"):
+            build_loadgen_doc(
+                preset="demo",
+                per_client_latencies=[[0.001]],
+                per_client_cpu=[0.01],
+                duration_s=0.1,
+                distinct=1,
+                seed=0,
+                warmup_requests=0,
+                per_client_outcomes=[["teleported"]],
+            )
+
+    def test_v2_loadgen_block_is_validated(self):
+        doc = synthetic_doc(0.002)
+        broken = json.loads(json.dumps(doc))
+        broken["loadgen"]["outcomes"]["planned"] = 1  # != requests
+        with pytest.raises(ValueError, match="outcomes"):
+            validate_bench(broken)
+        broken = json.loads(json.dumps(doc))
+        broken["loadgen"]["latency_histogram"]["count"] = 7
+        with pytest.raises(ValueError, match="latency_histogram"):
+            validate_bench(broken)
+
 
 class TestP99RegressionDetection:
     """A pure-tail step is invisible to medians but must be flagged."""
@@ -158,3 +224,14 @@ class TestLiveRun:
         names = [b["name"] for b in doc["benchmarks"]]
         assert names == ["serve.demo.latency", "serve.demo.p99"]
         assert doc["benchmarks"][0]["repeats"] == 8
+        # Outcome decomposition covers every timed request; the warm
+        # phase planned both fingerprints, so no timed request plans.
+        outcomes = summary["outcomes"]
+        assert sum(outcomes.values()) == 8
+        assert outcomes["planned"] == 0
+        assert outcomes["memo"] + outcomes["coalesced"] == 8
+        client_hist = LogHistogram.from_dict(summary["latency_histogram"])
+        assert client_hist.count == 8
+        # Server-side histogram covers warm-up (2) + timed (8) requests.
+        server_hist = LogHistogram.from_dict(summary["server_histogram"])
+        assert server_hist.count == 10

@@ -403,8 +403,9 @@ def _golden_prom_registry() -> CounterRegistry:
 
     Counters and gauges, labeled and bare samples, multiple label keys
     (inserted out of order to prove sorting), a known family, every
-    dynamic-prefix family, and an unknown family for the fallback help
-    line.
+    dynamic-prefix family, an unknown family for the fallback help
+    line, and a labeled histogram family (cumulative le buckets,
+    +Inf, _sum and _count lines).
     """
     reg = CounterRegistry()
     reg.inc("sim.launch.count", 3)
@@ -417,6 +418,9 @@ def _golden_prom_registry() -> CounterRegistry:
     reg.set_gauge("custom.family", 1.5)
     reg.inc("planner.footprint_unions", 44)
     reg.inc("planner.merge_probes", 55)
+    for value in (0.00005, 0.0004, 0.0004, 0.003, 1000.0):
+        reg.observe("serve.latency", value, outcome="ok", endpoint="plan")
+    reg.observe("serve.latency", 0.0002, endpoint="plan", outcome="memo_hit")
     return reg
 
 

@@ -276,13 +276,19 @@ class TestIntrospection:
             if line.startswith("# HELP ") or line.startswith("# TYPE "):
                 families.add(line.split()[2])
                 continue
-            # sample lines: name{labels} value  |  name value
+            # sample lines: name{labels} value  |  name value; histogram
+            # families expose _bucket/_sum/_count series.
             name = line.split("{")[0].split(" ")[0]
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[: -len(suffix)] in families:
+                    name = name[: -len(suffix)]
+                    break
             float(line.rsplit(" ", 1)[1])
             assert name in families, f"sample {line!r} lacks HELP/TYPE"
         assert "serve_requests" in families
         assert "serve_plans" in families
         assert "serve_inflight" in families
+        assert "serve_latency" in families
 
     def test_explain_returns_a_valid_audit(self, client):
         from repro.obs.audit import validate_audit
@@ -291,3 +297,163 @@ class TestIntrospection:
         assert response["kind"] == "explain"
         validate_audit(response["audit"])
         assert response["audit"]["preset"] == "demo"
+
+
+class TestAdvertisedUrl:
+    """Regression: a 0.0.0.0/:: bind used to be advertised verbatim in
+    ``ServeHandle.url``, which no client can dial."""
+
+    def test_wildcard_bind_advertises_loopback(self):
+        service = PlanService()
+        handle = start_server(service, host="0.0.0.0")
+        try:
+            assert handle.bind_host == "0.0.0.0"
+            assert handle.host == "127.0.0.1"
+            assert handle.url == f"http://127.0.0.1:{handle.port}"
+            # The advertised URL actually answers.
+            assert ServeClient(handle.url).health()["status"] == "ok"
+        finally:
+            handle.close()
+
+    def test_explicit_bind_is_advertised_verbatim(self, daemon):
+        assert daemon.bind_host == "127.0.0.1"
+        assert daemon.url == f"http://127.0.0.1:{daemon.port}"
+
+    def test_advertised_host_mapping(self):
+        from repro.serve.server import advertised_host
+
+        for wildcard in ("0.0.0.0", "::", "0:0:0:0:0:0:0:0", ""):
+            assert advertised_host(wildcard) == "127.0.0.1"
+        assert advertised_host("10.1.2.3") == "10.1.2.3"
+        assert advertised_host("::1") == "::1"
+
+
+class TestKeepAlive:
+    """Socket-level keep-alive discipline: the same connection must
+    survive routed requests and 404s (body drained), while unknowable
+    or oversized framing (411/413/bad Content-Length) closes it."""
+
+    def _post(self, conn, path, body=b"{}", headers=None):
+        conn.request(
+            "POST", path, body=body,
+            headers={"Content-Type": "application/json", **(headers or {})},
+        )
+        response = conn.getresponse()
+        payload = response.read()
+        return response, payload
+
+    def test_connection_survives_404s_between_requests(self, daemon):
+        conn = http.client.HTTPConnection(
+            daemon.host, daemon.port, timeout=10
+        )
+        try:
+            response, payload = self._post(conn, "/v1/plan",
+                                           json.dumps(DEMO).encode())
+            assert response.status == 200
+            assert json.loads(payload)["served"] == "planned"
+
+            # POST 404 with a declared body: drained, kept alive.
+            response, payload = self._post(
+                conn, "/v2/plan", body=b'{"x": 1}'
+            )
+            assert response.status == 404
+            assert json.loads(payload)["error"]["code"] == "not_found"
+
+            # GET 404: no body to corrupt framing, kept alive.
+            conn.request("GET", "/nope")
+            response = conn.getresponse()
+            assert response.status == 404
+            response.read()
+
+            # Same socket still serves.
+            response, payload = self._post(conn, "/v1/plan",
+                                           json.dumps(DEMO).encode())
+            assert response.status == 200
+            assert json.loads(payload)["served"] == "memo"
+        finally:
+            conn.close()
+
+    def test_missing_content_length_closes_connection(self, daemon):
+        conn = http.client.HTTPConnection(
+            daemon.host, daemon.port, timeout=10
+        )
+        try:
+            conn.putrequest("POST", "/v1/plan")
+            conn.putheader("Content-Type", "application/json")
+            conn.endheaders()
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 411
+            assert response.getheader("Connection") == "close"
+        finally:
+            conn.close()
+
+    def test_oversized_body_closes_connection(self):
+        handle = make_daemon(max_body_bytes=64)
+        try:
+            conn = http.client.HTTPConnection(
+                handle.host, handle.port, timeout=10
+            )
+            try:
+                response, _ = self._post(conn, "/v1/plan", body=b"x" * 100)
+                assert response.status == 413
+                assert response.getheader("Connection") == "close"
+            finally:
+                conn.close()
+        finally:
+            handle.close()
+
+    def test_invalid_content_length_closes_connection(self, daemon):
+        conn = http.client.HTTPConnection(
+            daemon.host, daemon.port, timeout=10
+        )
+        try:
+            conn.putrequest("POST", "/v1/plan")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", "banana")
+            conn.endheaders()
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 400
+            assert response.getheader("Connection") == "close"
+        finally:
+            conn.close()
+
+
+class TestRequestIdOnErrors:
+    """Even rejected requests echo the client's X-Request-Id header."""
+
+    def test_404_echoes_request_id(self, daemon):
+        conn = http.client.HTTPConnection(
+            daemon.host, daemon.port, timeout=10
+        )
+        try:
+            conn.request("GET", "/nope", headers={"X-Request-Id": "err-1"})
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 404
+            assert response.getheader("X-Request-Id") == "err-1"
+        finally:
+            conn.close()
+
+    def test_400_surfaces_id_on_the_client_error(self, client):
+        with pytest.raises(ServeClientError) as err:
+            client.plan({"app": {"preset": "ghost"}}, request_id="err-2")
+        assert err.value.request_id == "err-2"
+        assert client.last_request_id == "err-2"
+
+    def test_malformed_header_id_is_replaced(self, daemon):
+        conn = http.client.HTTPConnection(
+            daemon.host, daemon.port, timeout=10
+        )
+        try:
+            conn.request(
+                "GET", "/healthz", headers={"X-Request-Id": "bad id!"}
+            )
+            response = conn.getresponse()
+            response.read()
+            echoed = response.getheader("X-Request-Id")
+            assert echoed and echoed != "bad id!"
+            assert len(echoed) == 16
+        finally:
+            conn.close()

@@ -124,7 +124,7 @@ class TestSingleFlight:
             body = {"app": {"preset": "diamond"}}
             first = client.plan(body)
             second = client.plan(body)
-        volatile = ("served", "elapsed_ms")
+        volatile = ("served", "elapsed_ms", "request_id")
         assert {k: v for k, v in first.items() if k not in volatile} == {
             k: v for k, v in second.items() if k not in volatile
         }
