@@ -13,6 +13,7 @@ Regenerates every evaluation artifact of the paper from the terminal:
     $ ktiler demo                 # two-kernel quickstart
     $ ktiler trace                # full observability run (trace + metrics)
     $ ktiler explain              # audit a tiled schedule (JSON + HTML)
+    $ ktiler diff                 # attribute plan divergence to a decision
     $ ktiler profile              # profile the planner (counters + stacks)
     $ ktiler profile --sweep      # fit planner complexity exponents
 
@@ -466,6 +467,76 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _diff_freq(gpu_mhz, mem_mhz):
+    from repro.gpusim.freq import NOMINAL, FrequencyConfig
+
+    return FrequencyConfig(
+        gpu_mhz=NOMINAL.gpu_mhz if gpu_mhz is None else gpu_mhz,
+        mem_mhz=NOMINAL.mem_mhz if mem_mhz is None else mem_mhz,
+    )
+
+
+def _freq_label(freq) -> str:
+    return f"gpu={freq.gpu_mhz:g}MHz mem={freq.mem_mhz:g}MHz"
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.core import KTiler, KTilerConfig
+    from repro.gpusim.freq import NOMINAL
+    from repro.obs.diff import diff_plans, format_divergence, write_diff
+
+    tracer = _make_tracer(args)
+    app = _build_explain_app(args.preset)
+    spec = _resolve_spec(SCALED_SPEC, args)
+    freq_a = _diff_freq(args.gpu_mhz_a, args.mem_mhz_a)
+    gpu_b, mem_b = args.gpu_mhz_b, args.mem_mhz_b
+    if gpu_b is None and mem_b is None:
+        # Default comparison: the same app planned at half memory
+        # frequency — the classic case where the weight model (and
+        # therefore the merge decisions) shift with the DVFS point.
+        mem_b = NOMINAL.mem_mhz / 2.0
+    freq_b = _diff_freq(gpu_b, mem_b)
+    print(app.graph.summary())
+    # One KTiler plans both sides, so graph, spec and config are
+    # identical by construction and the diff isolates the frequency.
+    ktiler = KTiler(
+        app.graph,
+        spec=spec,
+        config=KTilerConfig(launch_overhead_us=spec.launch_gap_us),
+        tracer=tracer,
+        backend=_backend(args),
+        workers=_workers(args),
+        store=_store(args, tracer),
+        planner_backend=_planner_backend(args),
+    )
+    plan_a = ktiler.plan(freq_a)
+    plan_b = ktiler.plan(freq_b)
+    payload = diff_plans(
+        app.graph,
+        plan_a,
+        plan_b,
+        label_a=_freq_label(freq_a),
+        label_b=_freq_label(freq_b),
+    )
+    print(format_divergence(payload))
+    summary = payload["summary"]
+    print(
+        f"clusters {summary['clusters_a']} vs {summary['clusters_b']}, "
+        f"{summary['moved_kernels']} kernels reassigned, "
+        f"{summary['tiling_changes']} tiling changes, "
+        f"{summary['edge_weight_changes']} edge-weight changes"
+    )
+    write_diff(payload, json_path=args.json, html_path=args.html)
+    print(
+        f"wrote diff JSON to {args.json}, HTML report to {args.html}",
+        file=sys.stderr,
+    )
+    _finish_obs(args, tracer)
+    if args.strict and not payload["identical"]:
+        return 2
+    return 0
+
+
 #: Preset applications runnable under ``ktiler profile --preset <name>``:
 #: the ``ktiler explain`` presets plus the three scalability-probe
 #: topologies (which honour ``--kernels`` and ``--seed``).
@@ -793,10 +864,60 @@ def _client_request_body(args: argparse.Namespace) -> dict:
     return body
 
 
+def _client_diff(client, args: argparse.Namespace):
+    """``ktiler client diff``: two ledger-bearing plans, one attribution.
+
+    Side A is the request the ordinary flags describe; side B is the
+    same request with the ``--gpu-mhz-b``/``--mem-mhz-b`` overrides
+    (default: side A at half memory frequency).  The daemon returns the
+    decision ledgers, so the diff runs entirely client-side.
+    """
+    from repro.gpusim.freq import NOMINAL
+    from repro.obs.diff import diff_ledgers, format_divergence
+
+    body_a = _client_request_body(args)
+    body_a["ledger"] = True
+    body_b = json.loads(json.dumps(body_a))
+    freq_b = dict(body_b.get("freq", {}))
+    if args.gpu_mhz_b is None and args.mem_mhz_b is None:
+        freq_b["mem_mhz"] = freq_b.get("mem_mhz", NOMINAL.mem_mhz) / 2.0
+    else:
+        if args.gpu_mhz_b is not None:
+            freq_b["gpu_mhz"] = args.gpu_mhz_b
+        if args.mem_mhz_b is not None:
+            freq_b["mem_mhz"] = args.mem_mhz_b
+    body_b["freq"] = freq_b
+
+    def label(body):
+        freq = body.get("freq", {})
+        gpu = freq.get("gpu_mhz", NOMINAL.gpu_mhz)
+        mem = freq.get("mem_mhz", NOMINAL.mem_mhz)
+        return f"gpu={gpu:g}MHz mem={mem:g}MHz"
+
+    resp_a = client.plan(body_a)
+    resp_b = client.plan(body_b)
+    payload = diff_ledgers(
+        resp_a["ledger"],
+        resp_b["ledger"],
+        label_a=label(body_a),
+        label_b=label(body_b),
+    )
+    print(format_divergence(payload))
+    print(
+        f"ledger entries {payload['ledger']['entries_a']} vs "
+        f"{payload['ledger']['entries_b']}, "
+        f"{len(payload['edge_weight_changes'])} edge-weight changes"
+    )
+    print(f"plan_digest_a {resp_a['plan_digest']}")
+    print(f"plan_digest_b {resp_b['plan_digest']}")
+    return payload
+
+
 def _cmd_client(args: argparse.Namespace) -> int:
     from repro.serve.client import ServeClient, ServeClientError
 
     client = ServeClient(args.url, request_id=args.request_id)
+    code = 0
     try:
         if args.action == "health":
             result = client.health()
@@ -813,6 +934,10 @@ def _cmd_client(args: argparse.Namespace) -> int:
         elif args.action == "tracez":
             result = client.debug_tracez()
             print(json.dumps(result, indent=1, sort_keys=True))
+        elif args.action == "diff":
+            result = _client_diff(client, args)
+            if args.strict and not result["identical"]:
+                code = 2
         else:
             body = _client_request_body(args)
             if args.action == "plan":
@@ -850,7 +975,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
             json.dump(result, fh, indent=1, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.json}")
-    return 0
+    return code
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
@@ -887,7 +1012,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
 
 SERVE_CLIENT_ACTIONS = (
-    "plan", "explain", "health", "metrics", "statusz", "vars", "tracez",
+    "plan", "explain", "diff", "health", "metrics", "statusz", "vars",
+    "tracez",
 )
 LOADGEN_PRESETS = PROFILE_PRESETS
 
@@ -972,6 +1098,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="self-contained HTML report output path")
     _add_common(p)
     p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser(
+        "diff",
+        help=(
+            "plan one application at two DVFS points and attribute the "
+            "divergence to the first disagreeing planner decision"
+        ),
+        description=(
+            "Plans the chosen preset twice — side A at the "
+            "--gpu-mhz-a/--mem-mhz-a frequencies, side B at the "
+            "--gpu-mhz-b/--mem-mhz-b frequencies (default: side A at "
+            "half memory frequency) — and joins the two decision "
+            "ledgers: the report names the first merge decision where "
+            "the planners disagreed, every reassigned kernel, every "
+            "tile-factor change, and every edge-weight delta."
+        ),
+    )
+    p.add_argument("--preset", choices=EXPLAIN_PRESETS, default="demo")
+    p.add_argument("--gpu-mhz-a", type=float, default=None, metavar="MHZ",
+                   help="side-A core frequency (default: nominal)")
+    p.add_argument("--mem-mhz-a", type=float, default=None, metavar="MHZ",
+                   help="side-A memory frequency (default: nominal)")
+    p.add_argument("--gpu-mhz-b", type=float, default=None, metavar="MHZ",
+                   help="side-B core frequency (default: side A's)")
+    p.add_argument("--mem-mhz-b", type=float, default=None, metavar="MHZ",
+                   help="side-B memory frequency (default: half of "
+                        "nominal when no side-B flag is given)")
+    p.add_argument("--json", metavar="PATH", default="diff.json",
+                   help="diff JSON output path (schema_version 1)")
+    p.add_argument("--html", metavar="PATH", default="diff.html",
+                   help="self-contained HTML report output path")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 2 when the plans diverge")
+    _add_common(p)
+    p.set_defaults(func=_cmd_diff)
 
     p = sub.add_parser(
         "profile",
@@ -1154,6 +1315,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--measure", action="store_true",
                    help="also replay the plan and return wire timing "
                         "(blocking + streamed)")
+    p.add_argument("--gpu-mhz-b", type=float, default=None, metavar="MHZ",
+                   help="diff action: side-B core frequency")
+    p.add_argument("--mem-mhz-b", type=float, default=None, metavar="MHZ",
+                   help="diff action: side-B memory frequency (default: "
+                        "side A at half memory frequency)")
+    p.add_argument("--strict", action="store_true",
+                   help="diff action: exit 2 when the ledgers diverge")
     p.add_argument("--timeout-s", type=float, default=None, metavar="S",
                    help="client-side request timeout forwarded to the "
                         "daemon")

@@ -30,11 +30,12 @@ from repro.core.fast_cluster import make_partition
 from repro.core.perftable import PerfTableSet
 from repro.core.schedule import Schedule
 from repro.core.subkernel import SubKernel
-from repro.core.weights import EdgeWeights, select_candidates
+from repro.core.weights import EdgeWeights, excluded_edges, select_candidates
 from repro.core.work import PlannerWork
 from repro.errors import TilingError
 from repro.graph.block_graph import BlockDependencyGraph
 from repro.graph.kernel_graph import KernelGraph
+from repro.obs.decisions import DECISION_COUNTER_FAMILIES, DecisionLedger
 from repro.obs.tracer import NULL_TRACER
 from repro.parallel import in_worker, scoped_pool
 
@@ -63,13 +64,22 @@ class TilingStats:
 
 @dataclass
 class TilingResult:
-    """Schedule plus the partition and per-cluster tilings behind it."""
+    """Schedule plus the partition and per-cluster tilings behind it.
+
+    ``ledger`` is the run's decision ledger (see
+    :mod:`repro.obs.decisions`): every merge candidate Algorithm 1
+    settled and every tiling round Algorithm 2 froze, in consume order.
+    It is recorded unconditionally (provenance is part of the plan, not
+    of tracing), bit-identical across planner backends and worker
+    counts, and persisted through plan artifacts.
+    """
 
     schedule: Schedule
     partition: Partition
     tilings: Dict[int, ClusterTiling]
     estimated_cost_us: float
     stats: TilingStats
+    ledger: DecisionLedger = field(default_factory=DecisionLedger)
 
 
 def _singleton_tiling(
@@ -142,6 +152,19 @@ def application_tile(
 
     candidates = select_candidates(graph, weights, threshold_us)
     stats.candidate_edges = len(candidates)
+    ledger = DecisionLedger()
+    # Every data edge the threshold kept out of the candidate list is a
+    # settled decision too — record it up front so the ledger covers
+    # the whole data-edge set of the graph.
+    for edge in excluded_edges(graph, weights, threshold_us):
+        ledger.record_merge(
+            src=edge.src,
+            dst=edge.dst,
+            buffer=edge.buffer.name,
+            weight_us=round(weights.weight(edge), 3),
+            outcome="excluded",
+            reason="threshold",
+        )
     tiling_memo: Dict[FrozenSet[int], Optional[ClusterTiling]] = {}
     speculative: Set[FrozenSet[int]] = set()
     if workers > 1 and not in_worker():
@@ -159,6 +182,16 @@ def application_tile(
         cluster_b = partition.cluster_of(edge.dst)
         if cluster_a == cluster_b:
             # Already merged through another edge; consume the edge.
+            ledger.record_merge(
+                src=edge.src,
+                dst=edge.dst,
+                buffer=edge.buffer.name,
+                weight_us=round(weights.weight(edge), 3),
+                outcome="skipped",
+                reason="already_merged",
+                cluster_a=cluster_a,
+                cluster_b=cluster_b,
+            )
             candidates.pop(index)
             index = 0
             continue
@@ -171,16 +204,33 @@ def application_tile(
         if oversized or not partition.can_merge(cluster_a, cluster_b, stats.work):
             # Invalid partition: try the next edge, keep this one.
             stats.invalid_partitions += 1
+            entry = ledger.record_merge(
+                src=edge.src,
+                dst=edge.dst,
+                buffer=edge.buffer.name,
+                weight_us=round(weights.weight(edge), 3),
+                outcome="invalid",
+                reason="oversized" if oversized else "reachability",
+                **partition.merge_preview(cluster_a, cluster_b),
+            )
             if trace_on:
+                # The trace instant derives from the ledger entry
+                # (same shape as always), so trace and ledger cannot
+                # disagree.
                 tracer.instant(
                     "sched.merge",
                     cat="scheduler",
-                    decision="invalid",
-                    src=edge.src,
-                    dst=edge.dst,
-                    weight_us=round(weights.weight(edge), 3),
-                    oversized=oversized,
-                    **partition.merge_preview(cluster_a, cluster_b),
+                    decision=entry["outcome"],
+                    src=entry["src"],
+                    dst=entry["dst"],
+                    weight_us=entry["weight_us"],
+                    oversized=entry["reason"] == "oversized",
+                    cluster_a=entry["cluster_a"],
+                    cluster_b=entry["cluster_b"],
+                    size_a=entry["size_a"],
+                    size_b=entry["size_b"],
+                    out_degree_a=entry["out_degree_a"],
+                    out_degree_b=entry["out_degree_b"],
                 )
             index += 1
             continue
@@ -203,7 +253,7 @@ def application_tile(
                     tracer=tracer,
                 )
             tiling_memo[merged_nodes] = tiling
-            _charge_work(stats, tiling, tracer, trace_on)
+            _charge_work(stats, tiling, ledger, tracer, trace_on)
         elif merged_nodes in speculative:
             # First consumption of a speculatively pre-computed tiling:
             # for the stats this is the evaluation the serial loop
@@ -213,28 +263,52 @@ def application_tile(
             # across worker counts.
             speculative.discard(merged_nodes)
             stats.tilings_evaluated += 1
-            _charge_work(stats, tiling, tracer, trace_on)
+            _charge_work(stats, tiling, ledger, tracer, trace_on)
         else:
             stats.tiling_cache_hits += 1
         combined = tilings[cluster_a].cost_us + tilings[cluster_b].cost_us
         adopt = tiling is not None and tiling.cost_us < combined
+        if adopt:
+            reason = "cost_improves"
+        elif tiling is None:
+            reason = "untileable"
+        else:
+            reason = "cost_no_gain"
+        entry = ledger.record_merge(
+            src=edge.src,
+            dst=edge.dst,
+            buffer=edge.buffer.name,
+            weight_us=round(weights.weight(edge), 3),
+            outcome="adopted" if adopt else "rejected",
+            reason=reason,
+            combined_cost_us=round(combined, 3),
+            tiled_cost_us=(
+                None if tiling is None else round(tiling.cost_us, 3)
+            ),
+            cost_delta_us=(
+                None if tiling is None else round(combined - tiling.cost_us, 3)
+            ),
+            **partition.merge_preview(cluster_a, cluster_b),
+        )
         if trace_on:
+            # Derived from the ledger entry — one source of truth.
             tracer.instant(
                 "sched.merge",
                 cat="scheduler",
-                decision="adopted" if adopt else "rejected",
-                src=edge.src,
-                dst=edge.dst,
-                weight_us=round(weights.weight(edge), 3),
-                combined_cost_us=round(combined, 3),
-                tiled_cost_us=(
-                    None if tiling is None else round(tiling.cost_us, 3)
-                ),
-                cost_delta_us=(
-                    None if tiling is None else round(combined - tiling.cost_us, 3)
-                ),
-                untileable=tiling is None,
-                **partition.merge_preview(cluster_a, cluster_b),
+                decision=entry["outcome"],
+                src=entry["src"],
+                dst=entry["dst"],
+                weight_us=entry["weight_us"],
+                combined_cost_us=entry["combined_cost_us"],
+                tiled_cost_us=entry["tiled_cost_us"],
+                cost_delta_us=entry["cost_delta_us"],
+                untileable=entry["reason"] == "untileable",
+                cluster_a=entry["cluster_a"],
+                cluster_b=entry["cluster_b"],
+                size_a=entry["size_a"],
+                size_b=entry["size_b"],
+                out_degree_a=entry["out_degree_a"],
+                out_degree_b=entry["out_degree_b"],
             )
         if adopt:
             partition = partition.merged(cluster_a, cluster_b, work=stats.work)
@@ -258,6 +332,9 @@ def application_tile(
         m.inc("sched.tilings_evaluated", stats.tilings_evaluated)
         m.inc("sched.tiling_cache_hits", stats.tiling_cache_hits)
         m.set_gauge("sched.clusters", len(partition))
+        summary = ledger.summary()
+        for family, summary_field in DECISION_COUNTER_FAMILIES:
+            m.inc(family, summary[summary_field])
         for name, value in stats.work.as_dict().items():
             m.inc(f"planner.{name}", value)
         # Closing sample of the cumulative work track (see _charge_work).
@@ -283,18 +360,26 @@ def application_tile(
         tilings=tilings,
         estimated_cost_us=total_cost,
         stats=stats,
+        ledger=ledger,
     )
 
 
 def _charge_work(
-    stats: TilingStats, tiling: Optional[ClusterTiling], tracer, trace_on: bool
+    stats: TilingStats,
+    tiling: Optional[ClusterTiling],
+    ledger: DecisionLedger,
+    tracer,
+    trace_on: bool,
 ) -> None:
-    """Fold a consumed tiling's work into the run tally.
+    """Fold a consumed tiling's work and ledger events into the run.
 
     Called exactly once per *evaluation* (memo miss or first
     consumption of a speculative result) — never on memo hits, which
     mirror the serial loop re-using a tiling it already paid for.
-    Untileable clusters (``None``) charge nothing in both paths.
+    Untileable clusters (``None``) charge nothing in both paths.  The
+    tiling's ``tile_round`` ledger events are appended here, at the
+    same consume-time site as the work counters, which is what makes
+    the run ledger bit-identical across worker counts.
 
     With tracing on, each charge also appends one sample to the
     cumulative ``planner.work`` counter track.  The timestamp is the
@@ -305,6 +390,7 @@ def _charge_work(
     if tiling is None:
         return
     stats.work.add(tiling.work)
+    ledger.record_tile_events(tiling.ledger_events)
     if trace_on:
         tracer.sim_counter(
             "planner.work",

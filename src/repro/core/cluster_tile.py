@@ -36,6 +36,7 @@ from repro.errors import TilingError
 from repro.gpusim.trace import BlockKey
 from repro.graph.block_graph import BlockDependencyGraph
 from repro.graph.kernel_graph import KernelGraph
+from repro.obs.decisions import frontier_digest
 from repro.obs.tracer import NULL_TRACER
 
 
@@ -48,6 +49,13 @@ class ClusterTiling:
     memo hits, speculative workers, and the artifact store) so the
     merge loop can charge it at *consume* time — the property that
     keeps run-level counters worker-invariant.
+
+    ``ledger_events`` carries the tiling's ``tile_round`` decision-ledger
+    entries (sans ``seq``, assigned when the run ledger consumes them)
+    under the same contract: recorded here unconditionally, appended to
+    the run's :class:`~repro.obs.decisions.DecisionLedger` only at the
+    merge loop's consume-time charge site, so the ledger is
+    bit-identical across planner backends and worker counts.
     """
 
     nodes: FrozenSet[int]
@@ -55,6 +63,7 @@ class ClusterTiling:
     cost_us: float
     rounds: int
     work: PlannerWork = field(default_factory=PlannerWork)
+    ledger_events: Tuple[Dict, ...] = ()
 
     @property
     def num_launches(self) -> int:
@@ -227,6 +236,7 @@ def cluster_tile(
     work = PlannerWork()
 
     subkernels: List[SubKernel] = []
+    ledger_events: List[Dict] = []
     cost_us = 0.0
     rounds = 0
 
@@ -298,18 +308,34 @@ def cluster_tile(
         nonlocal cost_us, rounds
         if not current:
             return False
+        # Ledger entry first (always — the ledger is part of the plan,
+        # not of tracing), built before `current` is cleared; the
+        # `tile.round` trace instant below derives from it so the two
+        # can never disagree.
+        footprint = acc.footprint_bytes
+        event = {
+            "kind": "tile_round",
+            "cluster": cluster_label,
+            "round": rounds,
+            "blocks": len(current),
+            "nodes": sum(1 for v in nodes if current_per_node[v]),
+            "footprint_bytes": footprint,
+            "cache_bytes": cache_bytes,
+            "l2_occupancy": round(footprint / cache_bytes, 6),
+            "frontier_digest": frontier_digest(current),
+        }
+        ledger_events.append(event)
         if tracer.enabled:
-            footprint = acc.footprint_bytes
             tracer.instant(
                 "tile.round",
                 cat="tiler",
-                cluster=cluster_label,
-                round=rounds,
-                blocks=len(current),
-                nodes=sum(1 for v in nodes if current_per_node[v]),
-                footprint_bytes=footprint,
-                cache_bytes=cache_bytes,
-                l2_occupancy=round(footprint / cache_bytes, 6),
+                cluster=event["cluster"],
+                round=event["round"],
+                blocks=event["blocks"],
+                nodes=event["nodes"],
+                footprint_bytes=event["footprint_bytes"],
+                cache_bytes=event["cache_bytes"],
+                l2_occupancy=event["l2_occupancy"],
             )
             tracer.metrics.inc("tile.rounds", 1, cluster=cluster_label)
             tracer.metrics.inc("tile.blocks", len(current), cluster=cluster_label)
@@ -423,4 +449,5 @@ def cluster_tile(
         cost_us=cost_us,
         rounds=rounds,
         work=work,
+        ledger_events=tuple(ledger_events),
     )

@@ -117,3 +117,23 @@ def select_candidates(
     candidates = [e for e in graph.data_edges() if weights.weight(e) > threshold]
     candidates.sort(key=lambda e: (-weights.weight(e), e.src, e.dst))
     return candidates
+
+
+def excluded_edges(
+    graph: KernelGraph,
+    weights: EdgeWeights,
+    threshold: float,
+) -> List[Edge]:
+    """The complement of :func:`select_candidates`, in stable edge order.
+
+    Data edges whose weight never cleared the threshold — Algorithm 1
+    records one ``excluded``/``threshold`` decision-ledger entry per
+    such edge, so every data edge of the graph appears in the ledger
+    exactly once as a settled decision.  Sorted by ``(src, dst,
+    buffer)`` (not weight) so the recording order is deterministic even
+    among ties at weight zero.
+    """
+    return sorted(
+        (e for e in graph.data_edges() if not weights.weight(e) > threshold),
+        key=edge_id,
+    )

@@ -28,7 +28,13 @@ The subsystem has four pieces:
   ``ktiler profile``: span-scoped flamegraph capture
   (:class:`StackProfiler`), schema-versioned profile documents with
   deterministic work counters, and scalability sweeps that fit
-  empirical complexity exponents over probe-graph size ladders.
+  empirical complexity exponents over probe-graph size ladders;
+* :mod:`repro.obs.decisions` / :mod:`repro.obs.diff` — the decision
+  ledger (every Algorithm 1 merge candidate and Algorithm 2 tile
+  round, bit-identical across planner backends and worker counts,
+  persisted with plan artifacts) and the ``ktiler diff`` engine that
+  joins two ledgers to attribute plan divergence to the first
+  disagreeing decision.
 
 Quick start::
 
@@ -132,6 +138,26 @@ from repro.obs.audit import (
     validate_audit,
     write_audit,
 )
+from repro.obs.decisions import (
+    DECISION_COUNTER_FAMILIES,
+    LEDGER_SCHEMA_VERSION,
+    MERGE_OUTCOMES,
+    MERGE_REASONS,
+    DecisionLedger,
+    frontier_digest,
+    replay_adopted,
+    validate_ledger,
+)
+from repro.obs.diff import (
+    DIFF_KINDS,
+    DIFF_SCHEMA_VERSION,
+    diff_ledgers,
+    diff_plans,
+    format_divergence,
+    render_diff_html,
+    validate_diff,
+    write_diff,
+)
 
 __all__ = [
     "Tracer",
@@ -166,6 +192,22 @@ __all__ = [
     "open_slog",
     "validate_slog",
     "AUDIT_SCHEMA_VERSION",
+    "DECISION_COUNTER_FAMILIES",
+    "LEDGER_SCHEMA_VERSION",
+    "MERGE_OUTCOMES",
+    "MERGE_REASONS",
+    "DecisionLedger",
+    "frontier_digest",
+    "replay_adopted",
+    "validate_ledger",
+    "DIFF_KINDS",
+    "DIFF_SCHEMA_VERSION",
+    "diff_ledgers",
+    "diff_plans",
+    "format_divergence",
+    "render_diff_html",
+    "validate_diff",
+    "write_diff",
     "MISS_CLASSES",
     "EdgeAudit",
     "MissAttributor",

@@ -306,7 +306,14 @@ def graph_buffers(graph) -> List[object]:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class EdgeAudit:
-    """Predicted vs. actual saving of one data edge."""
+    """Predicted vs. actual saving of one data edge.
+
+    ``decision_seq`` / ``decision_outcome`` / ``decision_reason`` link
+    the edge to the decision-ledger entry that settled it (see
+    :meth:`~repro.obs.decisions.DecisionLedger.decisive_entries`), so
+    the audit's error columns and the planner's provenance read as one
+    report.  ``None`` when the plan carries no ledger (legacy payloads).
+    """
 
     src: int
     dst: int
@@ -317,6 +324,9 @@ class EdgeAudit:
     actual_saving_us: float
     default_hits: int
     tiled_hits: int
+    decision_seq: Optional[int] = None
+    decision_outcome: Optional[str] = None
+    decision_reason: Optional[str] = None
 
     @property
     def hit_delta(self) -> int:
@@ -346,6 +356,9 @@ class EdgeAudit:
             "hit_delta": self.hit_delta,
             "error_abs_us": self.error_abs_us,
             "error_rel": self.error_rel,
+            "decision_seq": self.decision_seq,
+            "decision_outcome": self.decision_outcome,
+            "decision_reason": self.decision_reason,
         }
 
 
@@ -374,6 +387,9 @@ class ScheduleAudit:
     default: _ReplayAudit
     tiled: _ReplayAudit
     edges: List[EdgeAudit]
+    #: Decision-ledger block: digest, summary, and the decisive entries
+    #: the edge rows link to.  ``None`` for plans without a ledger.
+    ledger: Optional[dict] = None
 
     @property
     def gain(self) -> float:
@@ -434,7 +450,7 @@ class ScheduleAudit:
         return rows
 
     def to_json_dict(self, preset: str = "custom") -> dict:
-        return {
+        payload = {
             "schema_version": AUDIT_SCHEMA_VERSION,
             "preset": preset,
             "freq": self.freq.label,
@@ -452,6 +468,9 @@ class ScheduleAudit:
             "kernels": self._kernel_rows(),
             "reuse_histograms": self._histogram_rows(),
         }
+        if self.ledger is not None:
+            payload["ledger"] = self.ledger
+        return payload
 
     def format_table(self) -> str:
         lines = [
@@ -568,6 +587,7 @@ def audit_schedule(
         )
 
     dram = DramModel.from_spec(spec)
+    decisive = plan.ledger.decisive_entries()
     edges: List[EdgeAudit] = []
     for edge in graph.data_edges():
         dst_node = graph.node(edge.dst)
@@ -575,6 +595,7 @@ def audit_schedule(
         key = (edge.dst, edge.buffer.name)
         default_hits = default.attributor.node_buffer_hits.get(key, 0)
         tiled_hits = tiled.attributor.node_buffer_hits.get(key, 0)
+        decision = decisive.get((edge.src, edge.dst, edge.buffer.name))
         edges.append(
             EdgeAudit(
                 src=edge.src,
@@ -586,13 +607,27 @@ def audit_schedule(
                 actual_saving_us=(tiled_hits - default_hits) * per_hit,
                 default_hits=default_hits,
                 tiled_hits=tiled_hits,
+                decision_seq=None if decision is None else decision["seq"],
+                decision_outcome=(
+                    None if decision is None else decision["outcome"]
+                ),
+                decision_reason=(
+                    None if decision is None else decision["reason"]
+                ),
             )
         )
     edges.sort(key=lambda e: (-e.predicted_saving_us, e.src, e.dst))
 
+    ledger_block = None
+    if plan.ledger.entries:
+        ledger_block = {
+            "digest": plan.ledger.digest(),
+            "summary": plan.ledger.summary(),
+            "entries": sorted(decisive.values(), key=lambda e: e["seq"]),
+        }
     audit = ScheduleAudit(
         freq=freq, backend=ktiler.backend, default=default, tiled=tiled,
-        edges=edges,
+        edges=edges, ledger=ledger_block,
     )
     if tracer.enabled:
         m = tracer.metrics
@@ -689,6 +724,18 @@ def validate_audit(payload: dict) -> dict:
             isinstance(row["buckets"], dict),
             f"reuse_histograms[{i}].buckets is not an object",
         )
+    ledger = payload.get("ledger")
+    if ledger is not None:
+        # Optional, additive: audits of plans that carry a decision
+        # ledger embed its decisive entries so edge rows can link to
+        # the decision that created (or rejected) them.
+        _require(isinstance(ledger, dict), "'ledger' is not an object")
+        for key in ("digest", "summary", "entries"):
+            _require(key in ledger, f"ledger missing '{key}'")
+        _require(
+            isinstance(ledger["entries"], list),
+            "ledger.entries is not a list",
+        )
     return payload
 
 
@@ -730,19 +777,31 @@ def render_html(payload: dict) -> str:
         "<h2>Edges: predicted vs. actual saving</h2>",
         "<table><tr><th class='name'>edge</th><th>predicted (us)</th>"
         "<th>actual (us)</th><th>default hits</th><th>tiled hits</th>"
-        "<th>&Delta; hits</th><th>error</th></tr>",
+        "<th>&Delta; hits</th><th>error</th>"
+        "<th class='name'>decision</th></tr>",
     ]
     for e in payload["edges"]:
         rel = e["error_rel"]
         rel_s = f"{rel * 100:+.0f}%" if rel is not None else "n/a"
         cls = " class='neg'" if e["actual_saving_us"] < 0 else ""
+        seq = e.get("decision_seq")
+        if seq is None:
+            decision_s = "&mdash;"
+        else:
+            # Anchored to the ledger section below: provenance one
+            # click from the error column.
+            decision_s = (
+                f"<a href='#ledger-{seq}'>#{seq} "
+                f"{esc(str(e.get('decision_outcome')))}</a>"
+            )
         parts.append(
             f"<tr><td class='name'>{esc(e['src_name'])} &rarr; "
             f"{esc(e['dst_name'])} <code>[{esc(e['buffer'])}]</code></td>"
             f"<td>{_fmt_us(e['predicted_saving_us'])}</td>"
             f"<td{cls}>{_fmt_us(e['actual_saving_us'])}</td>"
             f"<td>{e['default_hits']}</td><td>{e['tiled_hits']}</td>"
-            f"<td>{e['hit_delta']}</td><td>{rel_s}</td></tr>"
+            f"<td>{e['hit_delta']}</td><td>{rel_s}</td>"
+            f"<td class='name'>{decision_s}</td></tr>"
         )
     parts.append("</table><h2>Miss classes per kernel</h2>")
     parts.append(
@@ -784,6 +843,38 @@ def render_html(payload: dict) -> str:
                 f"<tr><td class='name'>{label}</td><td>{count}</td>"
                 f"<td class='name'><span class='bar' "
                 f"style='width:{pct:.1f}%'></span> {pct:.1f}%</td></tr>"
+            )
+        parts.append("</table>")
+    ledger = payload.get("ledger")
+    if ledger is not None:
+        summary = ledger["summary"]
+        parts.append(
+            "<h2>Decision ledger (decisive entries)</h2>"
+            "<p class='summary'>"
+            f"{summary.get('entries', 0)} entries recorded &middot; "
+            f"{summary.get('adopted', 0)} adopted, "
+            f"{summary.get('rejected', 0)} rejected, "
+            f"{summary.get('invalid', 0)} invalid, "
+            f"{summary.get('excluded', 0)} excluded &middot; "
+            f"digest <code>{esc(str(ledger['digest'])[:12])}…</code></p>"
+            "<table><tr><th>#</th><th class='name'>edge</th>"
+            "<th>weight (us)</th><th class='name'>outcome</th>"
+            "<th class='name'>reason</th><th>combined (us)</th>"
+            "<th>tiled (us)</th></tr>"
+        )
+        for entry in ledger["entries"]:
+            combined = entry.get("combined_cost_us")
+            tiled_cost = entry.get("tiled_cost_us")
+            parts.append(
+                f"<tr id='ledger-{entry['seq']}'><td>{entry['seq']}</td>"
+                f"<td class='name'>{entry['src']} &rarr; {entry['dst']} "
+                f"<code>[{esc(str(entry['buffer']))}]</code></td>"
+                f"<td>{entry['weight_us']}</td>"
+                f"<td class='name'>{esc(str(entry['outcome']))}</td>"
+                f"<td class='name'>{esc(str(entry['reason']))}</td>"
+                f"<td>{'&mdash;' if combined is None else combined}</td>"
+                f"<td>{'&mdash;' if tiled_cost is None else tiled_cost}</td>"
+                "</tr>"
             )
         parts.append("</table>")
     parts.append("</body></html>")

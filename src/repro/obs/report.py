@@ -56,6 +56,13 @@ METRIC_HELP: Dict[str, str] = {
     "sched.merges_rejected": "cluster merges rejected on cost",
     "sched.tiling_cache_hits": "cluster tilings served from the memo",
     "sched.tilings_evaluated": "cluster tilings computed",
+    "decisions.recorded": "decision-ledger entries recorded",
+    "decisions.adopted": "ledger merge decisions adopted",
+    "decisions.rejected": "ledger merge decisions rejected on cost",
+    "decisions.invalid": "ledger merge candidates invalid (reachability/size)",
+    "decisions.skipped": "ledger merge candidates already merged",
+    "decisions.excluded": "ledger edges excluded by the weight threshold",
+    "decisions.tile_rounds": "ledger tile-round events recorded",
     "planner.blocks_visited": "blocks staged by the tiling rounds",
     "planner.footprint_unions": "tile-batch footprint union attempts",
     "planner.footprint_lines": "cache lines admitted into tile footprints",

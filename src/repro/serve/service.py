@@ -252,6 +252,8 @@ class PlanService:
                 key = f"{endpoint}:{fingerprint}"
                 if endpoint == "plan" and request.measure:
                     key += ":measured"
+                if endpoint == "plan" and request.ledger:
+                    key += ":ledger"
                 if endpoint == "plan":
                     job = lambda: self._plan_job(request, fingerprint)
                 else:
@@ -411,6 +413,15 @@ class PlanService:
             }
             if request.measure:
                 result["timing"] = self._timing(request, plan)
+            if request.ledger:
+                # The ledger block is a valid ledger document (the
+                # extra digest/summary keys are tolerated by
+                # validate_ledger), so diff_ledgers consumes it as-is.
+                result["ledger"] = {
+                    **plan.ledger.as_dict(),
+                    "digest": plan.ledger.digest(),
+                    "summary": plan.ledger.summary(),
+                }
         self._count("plans")
         return result
 

@@ -336,6 +336,7 @@ _TOP_KEYS = {
     "sim_backend",
     "workers",
     "measure",
+    "ledger",
     "timeout_s",
 }
 
@@ -354,6 +355,7 @@ class PlanRequest:
     sim_backend: str
     workers: int
     measure: bool = False
+    ledger: bool = False
     timeout_s: Optional[float] = None
     echo: Dict[str, Any] = field(default_factory=dict)
 
@@ -414,6 +416,10 @@ def parse_plan_request(
     if not isinstance(measure, bool):
         raise WireError("bad_value", "measure must be a boolean")
 
+    ledger = body.get("ledger", False)
+    if not isinstance(ledger, bool):
+        raise WireError("bad_value", "ledger must be a boolean")
+
     timeout_s = body.get("timeout_s")
     if timeout_s is not None and (
         isinstance(timeout_s, bool)
@@ -440,6 +446,7 @@ def parse_plan_request(
         sim_backend=sim_backend,
         workers=workers,
         measure=measure,
+        ledger=ledger,
         timeout_s=None if timeout_s is None else float(timeout_s),
         echo=echo,
     )

@@ -46,6 +46,7 @@ from repro.gpusim.trace import BlockTraceRecord, MemoryTrace
 from repro.graph.block_graph import BlockDependencyGraph
 from repro.graph.kernel_graph import KernelGraph
 from repro.kernels.base import KernelSpec
+from repro.obs.decisions import DecisionLedger
 from repro.store.fingerprint import (
     config_fingerprint,
     freq_fingerprint,
@@ -292,6 +293,7 @@ def tiling_result_to_dict(result: TilingResult, graph: KernelGraph) -> Dict:
         ],
         "estimated_cost_us": result.estimated_cost_us,
         "stats": dataclasses.asdict(result.stats),
+        "ledger": result.ledger.as_dict(),
     }
 
 
@@ -337,12 +339,17 @@ def tiling_result_from_dict(
         stats_payload = dict(payload["stats"])
         stats_work = PlannerWork.from_dict(stats_payload.pop("work", {}))
         stats = TilingStats(work=stats_work, **stats_payload)
+        # A payload without a (valid) ledger is a pre-provenance entry:
+        # KeyError/ValueError land in the except below, the caller
+        # recomputes, and the warm plan regains its provenance.
+        ledger = DecisionLedger.from_dict(payload["ledger"])
         return TilingResult(
             schedule=schedule,
             partition=partition,
             tilings=tilings,
             estimated_cost_us=float(payload["estimated_cost_us"]),
             stats=stats,
+            ledger=ledger,
         )
     except (KeyError, TypeError, ValueError, Exception) as exc:  # noqa: B014
         # Schedule/graph mismatches raise ScheduleError/GraphError; any

@@ -40,7 +40,10 @@ from repro.kernels.base import KernelSpec
 #: v2: plan artifacts carry planner work counters — v1 entries would
 #: deserialize with all-zero work, silently breaking the warm-vs-cold
 #: cache invariance of the counters.
-STORE_VERSION = 2
+#: v3: plan artifacts carry the decision ledger — v2 entries would
+#: deserialize with an empty ledger, so warm plans would lose the
+#: provenance their cold runs recorded.
+STORE_VERSION = 3
 
 #: Attributes of :class:`KernelSpec` handled explicitly (or useless for
 #: identity) and therefore excluded from the generic parameter sweep.

@@ -418,6 +418,13 @@ def _golden_prom_registry() -> CounterRegistry:
     reg.set_gauge("custom.family", 1.5)
     reg.inc("planner.footprint_unions", 44)
     reg.inc("planner.merge_probes", 55)
+    reg.inc("decisions.recorded", 25)
+    reg.inc("decisions.adopted", 2)
+    reg.inc("decisions.rejected", 1)
+    reg.inc("decisions.invalid", 0)
+    reg.inc("decisions.skipped", 0)
+    reg.inc("decisions.excluded", 1)
+    reg.inc("decisions.tile_rounds", 22)
     for value in (0.00005, 0.0004, 0.0004, 0.003, 1000.0):
         reg.observe("serve.latency", value, outcome="ok", endpoint="plan")
     reg.observe("serve.latency", 0.0002, endpoint="plan", outcome="memo_hit")
